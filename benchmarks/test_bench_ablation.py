@@ -1,0 +1,60 @@
+"""Ingredient ablation — Section IX's narrative, one row per protocol variant.
+
+Expected shapes at any scale:
+
+* the fast path commits blocks on the fast path only when it is enabled and
+  there are at most ``c`` failures;
+* with a crashed backup and c=0 every block falls back to the slow path,
+  while SBFT with c>0 keeps the fast path;
+* the execution-collector variant (sbft-c0) sends each client one execute-ack
+  instead of f+1 signed replies, cutting client-bound traffic.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import attach_rows
+from repro.experiments.ablation import run_ablation
+from repro.protocols.registry import PAPER_ORDER
+
+
+def test_ablation_no_failures(benchmark, scale):
+    def run():
+        return run_ablation(
+            scale=scale,
+            num_clients=min(16, max(scale.client_counts)),
+            kv_batch=8,
+            failure_counts=(0,),
+        )
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    attach_rows(benchmark, rows)
+    by_protocol = {row["protocol"]: row for row in rows}
+    assert set(by_protocol) == set(PAPER_ORDER)
+    # Fast-path usage appears exactly when the ingredient is enabled.
+    assert by_protocol["linear-pbft"]["fast_blocks"] == 0
+    assert by_protocol["linear-pbft-fast"]["fast_blocks"] > 0
+    assert by_protocol["sbft-c0"]["fast_blocks"] > 0
+
+
+def test_ablation_with_failures(benchmark, scale):
+    failures = max(1, scale.f // 8)
+
+    def run():
+        return run_ablation(
+            scale=scale,
+            num_clients=min(16, max(scale.client_counts)),
+            kv_batch=8,
+            failure_counts=(failures,),
+            protocols=["linear-pbft-fast", "sbft-c0", "sbft-c8"],
+        )
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    attach_rows(benchmark, rows)
+    by_protocol = {row["protocol"]: row for row in rows}
+    # Ingredient 4: only the c>0 variant keeps the fast path under failures.
+    assert by_protocol["sbft-c8"]["fast_blocks"] > 0
+    assert by_protocol["sbft-c0"]["fast_blocks"] == 0
+    # And it is at least as fast as the c=0 variant that fell back.
+    assert by_protocol["sbft-c8"]["mean_latency_ms"] <= by_protocol["sbft-c0"]["mean_latency_ms"]

@@ -1,0 +1,102 @@
+"""Cryptography micro-benchmarks (Section III / VIII).
+
+These measure the wall-clock speed of the *mock* primitives (they are fast by
+construction — the realistic costs are charged to the simulated CPU through
+``repro.crypto.costs``), and report the cost model itself so benchmark readers
+can interpret the protocol-level numbers.  The structural comparisons the
+paper makes still hold for the mock implementation: aggregation (n-out-of-n)
+is cheaper than a threshold combine, and share verification dominates the
+collector's work.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import attach_rows
+from repro.crypto.bls import bls_aggregate, bls_keygen, bls_sign, bls_verify
+from repro.crypto.costs import DEFAULT_COSTS
+from repro.crypto.merkle import MerkleTree
+from repro.crypto.threshold import ThresholdDealer
+from repro.evm.contracts import encode_call, token_contract
+from repro.evm.state import WorldState
+from repro.evm.transactions import Transaction, apply_transaction
+
+N_REPLICAS = 25          # f=8, c=0
+SIGMA_THRESHOLD = 25
+TAU_THRESHOLD = 17
+
+
+@pytest.fixture(scope="module")
+def tau_scheme():
+    return ThresholdDealer(num_signers=N_REPLICAS, seed=1).deal("tau", TAU_THRESHOLD)
+
+
+def test_bls_sign(benchmark):
+    key = bls_keygen(seed=1)
+    benchmark(bls_sign, key, "digest")
+
+
+def test_bls_verify(benchmark):
+    key = bls_keygen(seed=1)
+    signature = bls_sign(key, "digest")
+    assert benchmark(bls_verify, key.public, "digest", signature)
+
+
+def test_bls_aggregate_n_of_n(benchmark):
+    keys = [bls_keygen(seed=i) for i in range(N_REPLICAS)]
+    signatures = [k.sign("digest") for k in keys]
+    benchmark(bls_aggregate, signatures)
+
+
+def test_threshold_share_sign(benchmark, tau_scheme):
+    benchmark(tau_scheme.sign_share, 3, "digest")
+
+
+def test_threshold_share_verify(benchmark, tau_scheme):
+    share = tau_scheme.sign_share(3, "digest")
+    assert benchmark(tau_scheme.verify_share, share)
+
+
+def test_threshold_combine(benchmark, tau_scheme):
+    shares = [tau_scheme.sign_share(i, "digest") for i in range(TAU_THRESHOLD)]
+    combined = benchmark(tau_scheme.combine, shares)
+    assert tau_scheme.verify(combined)
+
+
+def test_merkle_proof_generation(benchmark):
+    tree = MerkleTree([f"entry-{i}" for i in range(512)])
+    proof = benchmark(tree.prove, 100)
+    assert MerkleTree.verify(tree.root, "entry-100", proof)
+
+
+def test_evm_token_transfer_throughput(benchmark):
+    state = WorldState()
+    alice = "0x" + "aa" * 20
+    state.add_balance(alice, 10**9)
+    address = apply_transaction(state, Transaction.create(alice, token_contract())).contract_address
+    slot = int(alice, 16) & 0xFFFFFFFFFFFFFFFF
+    apply_transaction(state, Transaction.call(alice, address, encode_call(1, slot, 10**9)))
+    call = Transaction.call(alice, address, encode_call(2, 7, 1))
+
+    benchmark(apply_transaction, state, call)
+
+
+def test_report_cost_model(benchmark):
+    """Not a timing benchmark per se: records the simulated cost model used by
+    every protocol-level experiment, so the bench output is self-describing."""
+    rows = [
+        {"operation": name, "simulated_seconds": getattr(DEFAULT_COSTS, name)}
+        for name in (
+            "rsa_sign",
+            "rsa_verify",
+            "bls_sign_share",
+            "bls_verify_share",
+            "bls_verify_combined",
+            "bls_combine_per_share",
+            "bls_aggregate_per_share",
+            "evm_base_execute",
+        )
+    ]
+    benchmark.pedantic(lambda: DEFAULT_COSTS.combine_cost(64), rounds=1, iterations=1)
+    attach_rows(benchmark, rows)

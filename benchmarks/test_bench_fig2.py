@@ -1,0 +1,59 @@
+"""Figure 2 — throughput per number of clients, per protocol, per failure mode.
+
+The paper's grid is (batch mode) x (failures) x (protocol) x (clients).  The
+default benchmark runs a scaled-down grid: the batched mode at every client
+count for each protocol with no failures, plus one failure scenario, and
+prints the throughput rows.  The per-protocol single-point benchmarks make the
+headline comparison (throughput under load) visible directly in the
+pytest-benchmark table.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import attach_rows
+from repro.experiments.fig2_throughput import run_figure2, scaled_failures, throughput_series
+from repro.experiments.harness import result_row, run_kv_point
+from repro.protocols.registry import PAPER_ORDER
+
+KV_BATCH = 8  # stands in for the paper's batch=64 request payload
+
+
+@pytest.mark.parametrize("protocol", PAPER_ORDER)
+def test_fig2_throughput_under_load(benchmark, scale, protocol):
+    """One Figure-2 point per protocol: the largest client count, no failures."""
+    clients = max(scale.client_counts)
+
+    def run():
+        return run_kv_point(protocol, scale, num_clients=clients, kv_batch=KV_BATCH, failures=0)
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    attach_rows(benchmark, [result_row(result, protocol=protocol, clients=clients, failures=0)])
+    assert result.run.completed_requests > 0
+
+
+@pytest.mark.parametrize("failures_kind", ["none", "few"])
+def test_fig2_grid(benchmark, scale, failures_kind):
+    """A (clients x protocol) panel of Figure 2 for one failure scenario."""
+    failure_options = scaled_failures(scale)
+    failures = 0 if failures_kind == "none" else failure_options[1] if len(failure_options) > 1 else 0
+
+    def run():
+        return run_figure2(
+            scale=scale,
+            protocols=PAPER_ORDER,
+            batch_modes={"batch": KV_BATCH},
+            failures=[failures],
+            client_counts=list(scale.client_counts),
+        )
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    attach_rows(benchmark, rows)
+
+    series = throughput_series(rows, mode="batch", failures=failures)
+    assert set(series) == set(PAPER_ORDER)
+    # Every protocol completed work at every client count.
+    for protocol, values in series.items():
+        assert len(values) == len(scale.client_counts)
+        assert all(value > 0 for value in values)

@@ -1,0 +1,57 @@
+"""Figure 3 — latency vs throughput curves for the five protocol variants."""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import attach_rows
+from repro.experiments.fig2_throughput import run_figure2
+from repro.experiments.fig3_latency import latency_curves
+from repro.protocols.registry import PAPER_ORDER
+
+KV_BATCH = 8
+
+
+def test_fig3_latency_vs_throughput(benchmark, scale):
+    """Sweep the client counts and report the per-protocol latency curves."""
+
+    def run():
+        return run_figure2(
+            scale=scale,
+            protocols=PAPER_ORDER,
+            batch_modes={"batch": KV_BATCH},
+            failures=[0],
+            client_counts=list(scale.client_counts),
+        )
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    attach_rows(benchmark, rows)
+
+    curves = latency_curves(rows, mode="batch", failures=0)
+    assert set(curves) == set(PAPER_ORDER)
+    for protocol, points in curves.items():
+        assert all(throughput > 0 and latency_ms > 0 for throughput, latency_ms in points)
+
+    # Shape check from the paper: the collector-based linear path costs some
+    # latency relative to PBFT at light load, and the fast path wins it back.
+    light_load = {
+        protocol: points[0][1] for protocol, points in curves.items() if points
+    }
+    assert light_load["linear-pbft"] >= light_load["linear-pbft-fast"]
+
+
+def test_fig3_no_batching_row(benchmark, scale):
+    """The unbatched row of Figures 2/3 (each request is a single put)."""
+
+    def run():
+        return run_figure2(
+            scale=scale,
+            protocols=["pbft", "sbft-c0"],
+            batch_modes={"no batch": 1},
+            failures=[0],
+            client_counts=[max(scale.client_counts)],
+        )
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    attach_rows(benchmark, rows)
+    assert all(row["throughput_ops"] > 0 for row in rows)

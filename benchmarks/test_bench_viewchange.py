@@ -1,0 +1,43 @@
+"""View-change robustness — the paper's footnote-3 study in miniature.
+
+The paper reports tens of thousands of view changes with faulty primaries
+(partial, equivocating, stale information).  The benchmark runs a batch of
+trials per primary-fault type and checks that every trial preserved liveness
+(all requests completed) and that a view change actually happened.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import attach_rows
+from repro.experiments.viewchange_study import PRIMARY_FAULTS, run_viewchange_study, summarize
+
+
+def test_viewchange_robustness(benchmark, scale):
+    trials = 2 if scale.f <= 2 else 1
+
+    def run():
+        return run_viewchange_study(faults=PRIMARY_FAULTS, trials_per_fault=trials, f=1)
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    attach_rows(benchmark, rows)
+
+    summary = summarize(rows)
+    assert set(summary) == set(PRIMARY_FAULTS)
+    for fault, stats in summary.items():
+        assert stats["success_rate"] == 1.0, f"liveness lost under {fault} primary"
+
+
+def test_viewchange_latency_cost(benchmark):
+    """A single crash-primary trial, timed: the cost of one view change."""
+    from repro.experiments.viewchange_study import run_viewchange_trial
+
+    result = benchmark.pedantic(
+        lambda: run_viewchange_trial("crash", f=1, requests_per_client=3),
+        rounds=1,
+        iterations=1,
+    )
+    attach_rows(benchmark, [result])
+    assert result["all_completed"]
+    assert result["max_view"] >= 1

@@ -1,0 +1,55 @@
+#!/usr/bin/env python3
+"""Quickstart: run a small SBFT cluster on a simulated WAN.
+
+Builds a 4-replica SBFT deployment (f=1, c=0) on the continent-scale WAN
+topology, drives it with two closed-loop clients issuing key-value puts, and
+prints the throughput/latency summary plus a few protocol internals (fast-path
+usage, message counts).
+
+Run with::
+
+    python examples/quickstart.py
+"""
+
+from repro.protocols import build_cluster
+from repro.workloads import KVWorkload
+
+
+def main() -> None:
+    cluster = build_cluster(
+        "sbft-c0",            # full SBFT (ingredients 1+2+3), c=0
+        f=1,                  # tolerate one Byzantine replica -> n = 4
+        num_clients=2,
+        topology="continent",  # 5-region WAN latency model
+        batch_size=4,          # client requests per decision block
+    )
+
+    workload = KVWorkload(requests_per_client=25, batch_size=8)
+    print(f"Running {workload.describe()} against {cluster.config.describe()}")
+
+    result = cluster.run(workload, max_sim_time=120.0)
+
+    print()
+    print(f"  throughput      : {result.throughput:10.1f} operations/second")
+    print(f"  mean latency    : {result.mean_latency * 1000:10.1f} ms")
+    print(f"  median latency  : {result.median_latency * 1000:10.1f} ms")
+    print(f"  completed ops   : {result.completed_operations:10d}")
+    print(f"  network messages: {result.network_messages:10d}")
+    print()
+
+    fast = sum(stats["blocks_committed_fast"] for stats in result.replica_stats.values())
+    slow = sum(stats["blocks_committed_slow"] for stats in result.replica_stats.values())
+    print(f"  blocks committed on the fast path : {fast}")
+    print(f"  blocks committed on the slow path : {slow}")
+    print()
+    print("  messages by type:")
+    for msg_type, count in sorted(result.per_type_messages.items()):
+        print(f"    {msg_type:<24} {count}")
+
+    acks = sum(client["acks_accepted"] for client in result.client_stats.values())
+    print()
+    print(f"  single-message client acknowledgements accepted: {acks}")
+
+
+if __name__ == "__main__":
+    main()

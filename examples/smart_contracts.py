@@ -1,0 +1,80 @@
+#!/usr/bin/env python3
+"""Smart-contract ledger example: EVM transactions replicated by SBFT.
+
+Demonstrates the full stack of Section IV:
+
+1. deploy and call a token contract directly on a single (unreplicated)
+   ledger, showing the mini-EVM at work;
+2. replay a synthetic Ethereum-like workload (transfers, contract calls and
+   creations, batched into ~12 KB client chunks) through a geo-replicated SBFT
+   cluster and through the PBFT baseline;
+3. print the paper's comparison table (throughput, latency, slowdown vs the
+   unreplicated baseline) and verify every replica ends with the same ledger
+   digest.
+
+Run with::
+
+    python examples/smart_contracts.py
+"""
+
+from repro.evm.contracts import encode_call, token_contract
+from repro.evm.transactions import Transaction
+from repro.experiments.harness import format_table
+from repro.experiments.smart_contracts import (
+    run_smart_contract_benchmark,
+    single_node_baseline,
+    slowdown_vs_baseline,
+)
+from repro.services.ledger import LedgerService
+
+
+def demo_direct_ledger() -> None:
+    print("=== 1. The mini-EVM on a single ledger ===")
+    ledger = LedgerService()
+    alice = "0x" + "aa" * 20
+    bob_slot = 7
+    ledger.fund(alice, 1_000_000)
+
+    receipt = ledger.apply(Transaction.create(alice, token_contract()))
+    token = receipt.contract_address
+    print(f"  deployed token contract at {token} (gas used {receipt.gas_used})")
+
+    alice_slot = int(alice, 16) & 0xFFFFFFFFFFFFFFFF
+    ledger.apply(Transaction.call(alice, token, encode_call(1, alice_slot, 1000)))   # mint
+    ledger.apply(Transaction.call(alice, token, encode_call(2, bob_slot, 250)))      # transfer
+    balance = ledger.apply(Transaction.call(alice, token, encode_call(3, bob_slot)))
+    print(f"  bob's balance after mint+transfer: {int.from_bytes(balance.return_data, 'big')}")
+    print(f"  ledger state digest: {ledger.digest()[:16]}…")
+    print()
+
+
+def demo_replicated_benchmark() -> None:
+    print("=== 2. Replicated smart-contract benchmark (continent + world WAN) ===")
+    rows = run_smart_contract_benchmark(
+        f=2,
+        c_sbft=1,
+        num_clients=4,
+        num_transactions=800,
+        topologies=("continent", "world"),
+        protocols=("sbft-c8", "pbft"),
+        block_batch=4,
+    )
+    print(format_table(rows))
+    print()
+    print("  slowdown vs the unreplicated baseline (paper: 2x continent, 5x world):")
+    for label, slowdown in slowdown_vs_baseline(rows).items():
+        print(f"    {label:<28} {slowdown}x")
+    print()
+
+
+def main() -> None:
+    demo_direct_ledger()
+    baseline = single_node_baseline(num_transactions=500)
+    print(f"Unreplicated baseline: {baseline['throughput_tps']} tx/s "
+          f"(paper reports 840 tx/s on its hardware)")
+    print()
+    demo_replicated_benchmark()
+
+
+if __name__ == "__main__":
+    main()

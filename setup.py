@@ -1,0 +1,10 @@
+"""Legacy setup shim.
+
+The project is configured via pyproject.toml; this file exists so that
+editable installs work on environments without the ``wheel`` package
+(``pip install -e . --no-use-pep517 --no-build-isolation``).
+"""
+
+from setuptools import setup
+
+setup()

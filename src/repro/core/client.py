@@ -1,0 +1,186 @@
+"""The SBFT client (Section V-A).
+
+A client keeps a strictly monotone timestamp, sends each request to the
+replica it believes is the primary, and in the common case accepts a single
+``execute-ack`` message: it verifies the π(d) threshold signature over the
+post-execution state digest and the Merkle proof that its operation executed
+with the returned value.  If its timer expires it re-sends the request to all
+replicas and falls back to the classic PBFT acknowledgement, waiting for
+``f + 1`` matching signed replies.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.core.config import SBFTConfig
+from repro.core.messages import ClientReply, ClientRequest, ExecuteAck
+from repro.crypto.costs import CryptoCosts, DEFAULT_COSTS
+from repro.crypto.hashing import sha256_hex
+from repro.crypto.signatures import SigningKey
+from repro.metrics.collector import LatencyRecorder
+from repro.services.interface import AuthenticatedService, Operation
+from repro.sim.events import Simulator
+from repro.sim.network import Network
+from repro.sim.process import Process
+
+
+class SBFTClient(Process):
+    """A closed-loop client: issues its next request when the previous completes."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        network: Network,
+        node_id: int,
+        client_id: int,
+        config: SBFTConfig,
+        signing_key: SigningKey,
+        requests: Sequence[Sequence[Operation]],
+        recorder: Optional[LatencyRecorder] = None,
+        verifier: Optional[AuthenticatedService] = None,
+        costs: CryptoCosts = DEFAULT_COSTS,
+        start_delay: float = 0.0,
+    ):
+        super().__init__(sim, node_id, name=f"client-{client_id}")
+        self.network = network
+        self.client_id = client_id
+        self.config = config
+        self.signing_key = signing_key
+        self.costs = costs
+        self.recorder = recorder or LatencyRecorder()
+        self.verifier = verifier
+
+        self._requests = [tuple(ops) for ops in requests]
+        self._next_index = 0
+        self._timestamp = 0
+        self._believed_primary = 0
+
+        self._in_flight: Optional[ClientRequest] = None
+        self._issued_at = 0.0
+        self._retry_timer: Optional[int] = None
+        self._retrying = False
+        self._fallback_replies: Dict[Tuple[Any, ...], set] = {}
+
+        self.completed = 0
+        self.accepted_values: List[Tuple[Any, ...]] = []
+        self.stats = {"acks_accepted": 0, "acks_rejected": 0, "fallbacks": 0, "retries": 0}
+
+        if self._requests:
+            self.set_timer(start_delay, self._issue_next)
+
+    # ------------------------------------------------------------------
+    # Issuing requests
+    # ------------------------------------------------------------------
+    @property
+    def done(self) -> bool:
+        return self._next_index >= len(self._requests) and self._in_flight is None
+
+    def _issue_next(self) -> None:
+        if self.crashed or self._in_flight is not None:
+            return
+        if self._next_index >= len(self._requests):
+            return
+        operations = self._requests[self._next_index]
+        self._next_index += 1
+        self._timestamp += 1
+        self.charge_cpu(self.costs.rsa_sign)
+        signature = self.signing_key.sign(("request", self.client_id, self._timestamp))
+        request = ClientRequest(
+            client_id=self.client_id,
+            timestamp=self._timestamp,
+            operations=tuple(operations),
+            signature=signature,
+        )
+        self._in_flight = request
+        self._issued_at = self.sim.now
+        self._retrying = False
+        self._fallback_replies = {}
+        self.network.send(self.node_id, self._believed_primary, request)
+        self._retry_timer = self.set_timer(self.config.client_retry_timeout, self._on_retry_timeout)
+
+    def _on_retry_timeout(self) -> None:
+        self._retry_timer = None
+        if self._in_flight is None:
+            return
+        # Retry path: re-send to all replicas and ask for f+1 signed replies.
+        self.stats["retries"] += 1
+        self._retrying = True
+        for replica in range(self.config.n):
+            self.network.send(self.node_id, replica, self._in_flight)
+        self._retry_timer = self.set_timer(self.config.client_retry_timeout, self._on_retry_timeout)
+        # Rotate the believed primary in case it is the one that failed us.
+        self._believed_primary = (self._believed_primary + 1) % self.config.n
+
+    # ------------------------------------------------------------------
+    # Receiving acknowledgements
+    # ------------------------------------------------------------------
+    def on_message(self, message: Any, src: int) -> None:
+        if isinstance(message, ExecuteAck):
+            self.compute(self._ack_cost(message), self._on_execute_ack, message, src)
+        elif isinstance(message, ClientReply):
+            self.compute(self.costs.rsa_verify, self._on_client_reply, message, src)
+
+    def _ack_cost(self, message: ExecuteAck) -> float:
+        proof_levels = 20 if message.proof is not None else 0
+        return self.costs.bls_verify_combined + self.costs.merkle_proof_per_level * proof_levels
+
+    def _on_execute_ack(self, message: ExecuteAck, src: int) -> None:
+        if self._in_flight is None:
+            return
+        if message.client_id != self.client_id or message.timestamp != self._in_flight.timestamp:
+            return
+        if not self._verify_ack(message):
+            self.stats["acks_rejected"] += 1
+            return
+        self.stats["acks_accepted"] += 1
+        self._complete(message.values)
+
+    def _verify_ack(self, message: ExecuteAck) -> bool:
+        sign_message = ("state", message.sequence, message.state_digest)
+        if not self.verify_pi_signature(message, sign_message):
+            return False
+        if self.verifier is not None and message.proof is not None and self._in_flight is not None:
+            first_operation = self._in_flight.operations[0]
+            first_value = message.values[0] if message.values else None
+            return self.verifier.verify(
+                message.state_digest,
+                first_operation,
+                first_value,
+                message.sequence,
+                message.first_position,
+                message.proof,
+            )
+        return True
+
+    def verify_pi_signature(self, message: ExecuteAck, sign_message: Any) -> bool:
+        """Verify π(d); split out so tests can substitute a failing verifier."""
+        pi_scheme = getattr(self, "pi_scheme", None)
+        if pi_scheme is None:
+            return True
+        return pi_scheme.verify_message(message.pi_signature, sign_message)
+
+    def _on_client_reply(self, message: ClientReply, src: int) -> None:
+        if self._in_flight is None or message.timestamp != self._in_flight.timestamp:
+            return
+        # Replies are matched by value digest (values may contain unhashable
+        # structures such as ledger receipts).
+        key = sha256_hex("reply-values", message.values)
+        voters = self._fallback_replies.setdefault(key, set())
+        voters.add(message.replica_id)
+        if len(voters) >= self.config.f + 1:
+            self.stats["fallbacks"] += 1
+            self._complete(message.values)
+
+    def _complete(self, values: Tuple[Any, ...]) -> None:
+        if self._in_flight is None:
+            return
+        request = self._in_flight
+        self._in_flight = None
+        if self._retry_timer is not None:
+            self.cancel_timer(self._retry_timer)
+            self._retry_timer = None
+        self.completed += 1
+        self.accepted_values.append(values)
+        self.recorder.record(self._issued_at, self.sim.now, operations=len(request.operations))
+        self._issue_next()

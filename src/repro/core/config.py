@@ -1,0 +1,139 @@
+"""SBFT protocol configuration.
+
+The replica group has ``n = 3f + 2c + 1`` members (Section II): safety holds
+against ``f`` Byzantine replicas in the asynchronous model, the fast path
+tolerates up to ``c`` crashed or straggler replicas, and the three threshold
+signature schemes use thresholds ``3f + c + 1`` (σ, fast commit proof),
+``2f + c + 1`` (τ, linear-PBFT prepare/commit) and ``f + 1`` (π, execution
+certificate).
+
+The same configuration object also selects which of the paper's ingredients
+are active, which is how the protocol variants compared in Figure 2/3 are
+realised (see :mod:`repro.protocols.registry`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Optional
+
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class SBFTConfig:
+    """All protocol parameters for one SBFT deployment."""
+
+    f: int = 1
+    c: int = 0
+
+    # Ingredient toggles (all on = full SBFT).
+    linear_communication: bool = True      # ingredient 1: collectors instead of all-to-all
+    fast_path_enabled: bool = True         # ingredient 2
+    execution_collectors_enabled: bool = True  # ingredient 3: single client message
+
+    # Batching and pipelining.
+    batch_size: int = 1                    # minimum client requests per block
+    batch_timeout: float = 0.05            # seconds the primary waits to fill a batch
+    window: int = 256                      # max outstanding decision blocks (win)
+    active_window_divisor: int = 4         # fast path restricted to le .. le + win/4
+
+    # Timers.
+    fast_path_timeout: float = 0.15        # collector wait for σ before falling back to τ
+    view_change_timeout: float = 5.0       # base timeout before suspecting the primary
+    client_retry_timeout: float = 4.0      # client re-send / f+1 fallback timeout
+    checkpoint_interval: Optional[int] = None  # default: window // 2
+
+    # Collector redundancy: c + 1 collectors per slot (Section V).
+    num_collectors: Optional[int] = None
+
+    # Cryptography behaviour.
+    use_group_signature_fast_path: bool = True  # n-out-of-n aggregate when no failure seen
+
+    def __post_init__(self):
+        if self.f < 0 or self.c < 0:
+            raise ConfigurationError("f and c must be non-negative")
+        if self.f == 0 and self.c == 0:
+            raise ConfigurationError("need at least f=1 or c>=1 replicas worth of redundancy")
+        if self.batch_size < 1:
+            raise ConfigurationError("batch_size must be >= 1")
+        if self.window < 4:
+            raise ConfigurationError("window must be >= 4")
+
+    # ------------------------------------------------------------------
+    # Derived sizes (Section II / V)
+    # ------------------------------------------------------------------
+    @property
+    def n(self) -> int:
+        """Total number of replicas, ``3f + 2c + 1``."""
+        return 3 * self.f + 2 * self.c + 1
+
+    @property
+    def sigma_threshold(self) -> int:
+        """Fast-path commit threshold, ``3f + c + 1``."""
+        return 3 * self.f + self.c + 1
+
+    @property
+    def tau_threshold(self) -> int:
+        """Linear-PBFT prepare/commit threshold, ``2f + c + 1``."""
+        return 2 * self.f + self.c + 1
+
+    @property
+    def pi_threshold(self) -> int:
+        """Execution certificate threshold, ``f + 1``."""
+        return self.f + 1
+
+    @property
+    def view_change_quorum(self) -> int:
+        """View-change messages the new primary gathers, ``2f + 2c + 1``."""
+        return 2 * self.f + 2 * self.c + 1
+
+    @property
+    def collectors_per_slot(self) -> int:
+        """Number of C-/E-collectors per (sequence, view), default ``c + 1``."""
+        return self.num_collectors if self.num_collectors is not None else self.c + 1
+
+    @property
+    def checkpoint_every(self) -> int:
+        return self.checkpoint_interval if self.checkpoint_interval is not None else max(2, self.window // 2)
+
+    @property
+    def active_window(self) -> int:
+        """Fast-path restriction: only sequences within ``le + win/4`` (Section V-F)."""
+        return max(1, self.window // self.active_window_divisor)
+
+    # ------------------------------------------------------------------
+    # Variant helpers
+    # ------------------------------------------------------------------
+    def with_ingredients(
+        self,
+        linear: Optional[bool] = None,
+        fast_path: Optional[bool] = None,
+        execution_collectors: Optional[bool] = None,
+    ) -> "SBFTConfig":
+        """Copy of this config with some ingredients toggled."""
+        return replace(
+            self,
+            linear_communication=self.linear_communication if linear is None else linear,
+            fast_path_enabled=self.fast_path_enabled if fast_path is None else fast_path,
+            execution_collectors_enabled=(
+                self.execution_collectors_enabled
+                if execution_collectors is None
+                else execution_collectors
+            ),
+        )
+
+    def describe(self) -> str:
+        ingredients = []
+        if self.linear_communication:
+            ingredients.append("linear")
+        if self.fast_path_enabled:
+            ingredients.append("fast-path")
+        if self.execution_collectors_enabled:
+            ingredients.append("exec-collector")
+        if self.c > 0:
+            ingredients.append(f"c={self.c}")
+        return (
+            f"SBFT(n={self.n}, f={self.f}, c={self.c}, batch={self.batch_size}, "
+            f"ingredients=[{', '.join(ingredients) or 'none'}])"
+        )

@@ -1,0 +1,103 @@
+"""Per-sequence slot bookkeeping for an SBFT replica.
+
+A :class:`SlotState` accumulates everything a replica learns about one
+sequence number: the accepted pre-prepare, signature shares collected when the
+replica acts as a C-/E-collector, the fast/slow commit certificates, execution
+results and the execution certificate.  :class:`ReplicaLog` is the window of
+slots between the last stable sequence number and ``ls + win``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.core.messages import PrePrepare
+from repro.crypto.threshold import CombinedSignature, SignatureShare
+
+
+@dataclass
+class SlotState:
+    """Everything a replica knows about one sequence number."""
+
+    sequence: int
+
+    # Pre-prepare / ordering state.
+    pre_prepare: Optional[PrePrepare] = None
+    pre_prepare_view: int = -1
+    digest: Optional[str] = None
+
+    # C-collector state (fast path): sigma/tau shares received.
+    sigma_shares: Dict[int, SignatureShare] = field(default_factory=dict)
+    tau_shares: Dict[int, SignatureShare] = field(default_factory=dict)
+    fast_proof_sent: bool = False
+    prepare_sent: bool = False
+    fast_path_timer: Optional[int] = None
+
+    # Linear-PBFT state.
+    prepare_certificate: Optional[CombinedSignature] = None
+    prepare_certificate_view: int = -1
+    commit_sent: bool = False
+    commit_shares: Dict[int, SignatureShare] = field(default_factory=dict)
+    slow_proof_sent: bool = False
+
+    # Commit state.
+    committed: bool = False
+    commit_proof: Optional[CombinedSignature] = None      # σ(h)
+    commit_proof_slow: Optional[CombinedSignature] = None  # τ(τ(h))
+    committed_via_fast_path: bool = False
+
+    # Execution state.
+    executed: bool = False
+    execution_results: List[Any] = field(default_factory=list)
+    state_digest: Optional[str] = None
+
+    # E-collector state.
+    sign_state_shares: Dict[int, SignatureShare] = field(default_factory=dict)
+    execute_proof: Optional[CombinedSignature] = None      # π(d)
+    execute_proof_sent: bool = False
+    acks_sent: bool = False
+
+    # Bookkeeping for replies.
+    sign_share_sent: bool = False
+
+    def has_pre_prepare(self) -> bool:
+        return self.pre_prepare is not None
+
+
+class ReplicaLog:
+    """The sliding window of slots a replica keeps in memory."""
+
+    def __init__(self, window: int):
+        self.window = window
+        self._slots: Dict[int, SlotState] = {}
+
+    def slot(self, sequence: int) -> SlotState:
+        """Get (or create) the slot for a sequence number."""
+        if sequence not in self._slots:
+            self._slots[sequence] = SlotState(sequence=sequence)
+        return self._slots[sequence]
+
+    def peek(self, sequence: int) -> Optional[SlotState]:
+        """Slot if it exists, without creating it."""
+        return self._slots.get(sequence)
+
+    def __contains__(self, sequence: int) -> bool:
+        return sequence in self._slots
+
+    def sequences(self) -> List[int]:
+        return sorted(self._slots)
+
+    def garbage_collect(self, stable_sequence: int) -> int:
+        """Drop slots at or below the stable sequence number; returns count."""
+        stale = [s for s in self._slots if s <= stable_sequence]
+        for sequence in stale:
+            del self._slots[sequence]
+        return len(stale)
+
+    def in_window(self, sequence: int, last_stable: int) -> bool:
+        """Is ``sequence`` within (ls, ls + win]? (Section V-C acceptance rule.)"""
+        return last_stable < sequence <= last_stable + self.window
+
+    def __len__(self) -> int:
+        return len(self._slots)

@@ -1,0 +1,353 @@
+"""SBFT protocol messages (Section V).
+
+Every message is a frozen dataclass with a ``msg_type`` tag (used for traffic
+accounting) and a ``size_bytes`` estimate (used by the network model).  Sizes
+follow the paper's accounting: BLS signatures/shares are 33 bytes, RSA-2048
+client/replica signatures are 256 bytes, digests are 32 bytes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional, Sequence, Tuple
+
+from repro.crypto.signatures import Signature
+from repro.crypto.threshold import CombinedSignature, SignatureShare
+from repro.services.interface import ExecutionProof, Operation
+
+_HEADER = 24  # sequence/view/ids/typing overhead per message
+
+
+def _ops_size(operations: Sequence[Operation]) -> int:
+    return sum(op.size_bytes for op in operations)
+
+
+@dataclass(frozen=True)
+class ClientRequest:
+    """⟨"request", o, t, k⟩ — a client's (possibly batched) operation request."""
+
+    msg_type = "request"
+
+    client_id: int
+    timestamp: int
+    operations: Tuple[Operation, ...]
+    signature: Optional[Signature] = None
+
+    @property
+    def size_bytes(self) -> int:
+        return _HEADER + _ops_size(self.operations) + (256 if self.signature else 0)
+
+    @property
+    def request_id(self) -> Tuple[int, int]:
+        return (self.client_id, self.timestamp)
+
+
+@dataclass(frozen=True)
+class PrePrepare:
+    """⟨"pre-prepare", s, v, r⟩ — the primary's decision-block proposal."""
+
+    msg_type = "pre-prepare"
+
+    sequence: int
+    view: int
+    requests: Tuple[ClientRequest, ...]
+    digest: str
+    primary_signature: Optional[Signature] = None
+
+    @property
+    def size_bytes(self) -> int:
+        return _HEADER + 32 + sum(r.size_bytes for r in self.requests) + 256
+
+
+@dataclass(frozen=True)
+class SignShare:
+    """⟨"sign-share", s, v, σ_i(h) [, τ_i(h)]⟩ sent to the C-collectors."""
+
+    msg_type = "sign-share"
+
+    sequence: int
+    view: int
+    replica_id: int
+    digest: str
+    sigma_share: Optional[SignatureShare] = None
+    tau_share: Optional[SignatureShare] = None
+
+    @property
+    def size_bytes(self) -> int:
+        shares = (1 if self.sigma_share else 0) + (1 if self.tau_share else 0)
+        return _HEADER + 32 + 33 * shares
+
+
+@dataclass(frozen=True)
+class FullCommitProof:
+    """⟨"full-commit-proof", s, v, σ(h)⟩ — the fast-path commit certificate."""
+
+    msg_type = "full-commit-proof"
+
+    sequence: int
+    view: int
+    digest: str
+    sigma_signature: CombinedSignature
+
+    @property
+    def size_bytes(self) -> int:
+        return _HEADER + 32 + 33
+
+
+@dataclass(frozen=True)
+class Prepare:
+    """⟨"prepare", s, v, τ(h)⟩ — linear-PBFT prepare certificate from a collector."""
+
+    msg_type = "prepare"
+
+    sequence: int
+    view: int
+    digest: str
+    tau_signature: CombinedSignature
+
+    @property
+    def size_bytes(self) -> int:
+        return _HEADER + 32 + 33
+
+
+@dataclass(frozen=True)
+class Commit:
+    """⟨"commit", s, v, τ_i(τ(h))⟩ — a replica's share over the prepare certificate."""
+
+    msg_type = "commit"
+
+    sequence: int
+    view: int
+    replica_id: int
+    digest: str
+    tau_share_on_tau: SignatureShare
+
+    @property
+    def size_bytes(self) -> int:
+        return _HEADER + 32 + 33
+
+
+@dataclass(frozen=True)
+class FullCommitProofSlow:
+    """⟨"full-commit-proof-slow", s, v, τ(τ(h))⟩ — the linear-PBFT commit certificate."""
+
+    msg_type = "full-commit-proof-slow"
+
+    sequence: int
+    view: int
+    digest: str
+    tau_tau_signature: CombinedSignature
+
+    @property
+    def size_bytes(self) -> int:
+        return _HEADER + 32 + 33
+
+
+@dataclass(frozen=True)
+class SignState:
+    """⟨"sign-state", s, π_i(d)⟩ sent to the E-collectors after execution."""
+
+    msg_type = "sign-state"
+
+    sequence: int
+    replica_id: int
+    state_digest: str
+    pi_share: SignatureShare
+
+    @property
+    def size_bytes(self) -> int:
+        return _HEADER + 32 + 33
+
+
+@dataclass(frozen=True)
+class FullExecuteProof:
+    """⟨"full-execute-proof", s, π(d)⟩ — the execution certificate."""
+
+    msg_type = "full-execute-proof"
+
+    sequence: int
+    state_digest: str
+    pi_signature: CombinedSignature
+
+    @property
+    def size_bytes(self) -> int:
+        return _HEADER + 32 + 33
+
+
+@dataclass(frozen=True)
+class ExecuteAck:
+    """⟨"execute-ack", s, l, val, o, π(d), proof⟩ — the single client acknowledgement."""
+
+    msg_type = "execute-ack"
+
+    sequence: int
+    client_id: int
+    timestamp: int
+    first_position: int
+    values: Tuple[Any, ...]
+    state_digest: str
+    pi_signature: CombinedSignature
+    proof: ExecutionProof
+
+    @property
+    def size_bytes(self) -> int:
+        return _HEADER + 32 + 33 + self.proof.size_bytes + 16 * max(1, len(self.values))
+
+
+@dataclass(frozen=True)
+class ClientReply:
+    """Fallback PBFT-style signed reply from one replica (f+1 path)."""
+
+    msg_type = "client-reply"
+
+    sequence: int
+    client_id: int
+    timestamp: int
+    values: Tuple[Any, ...]
+    replica_id: int
+    signature: Signature
+
+    @property
+    def size_bytes(self) -> int:
+        return _HEADER + 256 + 16 * max(1, len(self.values))
+
+
+@dataclass(frozen=True)
+class CheckpointMsg:
+    """Checkpoint vote: the π-share over the state digest at a checkpoint sequence."""
+
+    msg_type = "checkpoint"
+
+    sequence: int
+    replica_id: int
+    state_digest: str
+    pi_share: SignatureShare
+
+    @property
+    def size_bytes(self) -> int:
+        return _HEADER + 32 + 33
+
+
+@dataclass(frozen=True)
+class StableCheckpoint:
+    """A combined π(d) proof that a checkpoint is stable."""
+
+    msg_type = "stable-checkpoint"
+
+    sequence: int
+    state_digest: str
+    pi_signature: CombinedSignature
+
+    @property
+    def size_bytes(self) -> int:
+        return _HEADER + 32 + 33
+
+
+# ----------------------------------------------------------------------
+# View change (Section V-G)
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class SlotEvidence:
+    """Per-slot evidence (lm_j, fm_j) carried in a view-change message.
+
+    ``lm`` (linear-PBFT mode evidence) is one of
+      * ``("commit-proof", τ(τ(h)))``
+      * ``("prepared", τ(h), view)``
+      * ``("no-commit",)``
+    ``fm`` (fast mode evidence) is one of
+      * ``("fast-proof", σ(h), digest)``
+      * ``("pre-prepared", σ_i(h), view, digest)``
+      * ``("no-pre-prepare",)``
+    ``requests_by_digest`` carries the decision blocks this replica holds for
+    the digests referenced in its evidence, so the new primary (and every
+    replica repeating the computation) can re-propose or commit the value
+    without a separate fetch (the paper transmits the corresponding blocks
+    alongside; we fold them into the evidence).
+    """
+
+    sequence: int
+    lm: Tuple
+    fm: Tuple
+    requests_by_digest: Tuple[Tuple[str, Tuple["ClientRequest", ...]], ...] = ()
+
+    @property
+    def size_bytes(self) -> int:
+        payload = sum(
+            sum(r.size_bytes for r in requests) for _digest, requests in self.requests_by_digest
+        )
+        return 16 + 80 + 80 + payload
+
+    def requests_for(self, digest: str) -> Optional[Tuple["ClientRequest", ...]]:
+        for known_digest, requests in self.requests_by_digest:
+            if known_digest == digest:
+                return requests
+        return None
+
+
+@dataclass(frozen=True)
+class ViewChange:
+    """⟨"view-change", v, ls, x_ls .. x_{ls+win}⟩."""
+
+    msg_type = "view-change"
+
+    new_view: int
+    replica_id: int
+    last_stable: int
+    stable_proof: Optional[CombinedSignature]
+    slots: Tuple[SlotEvidence, ...]
+
+    @property
+    def size_bytes(self) -> int:
+        return _HEADER + 33 + sum(s.size_bytes for s in self.slots)
+
+
+@dataclass(frozen=True)
+class NewView:
+    """The new primary's new-view message: the 2f+2c+1 view-change messages it used."""
+
+    msg_type = "new-view"
+
+    view: int
+    view_changes: Tuple[ViewChange, ...]
+
+    @property
+    def size_bytes(self) -> int:
+        return _HEADER + sum(vc.size_bytes for vc in self.view_changes)
+
+
+# ----------------------------------------------------------------------
+# State transfer
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class StateTransferRequest:
+    """A lagging replica asks a peer for the state up to a sequence number."""
+
+    msg_type = "state-transfer-request"
+
+    replica_id: int
+    from_sequence: int
+
+    @property
+    def size_bytes(self) -> int:
+        return _HEADER + 8
+
+
+@dataclass(frozen=True)
+class StateTransferResponse:
+    """Snapshot shipped to a lagging replica."""
+
+    msg_type = "state-transfer-response"
+
+    up_to_sequence: int
+    state_digest: str
+    snapshot: Any
+    stable_proof: Optional[CombinedSignature] = None
+    last_executed_per_client: Optional[Dict[int, int]] = None
+
+    @property
+    def size_bytes(self) -> int:
+        return _HEADER + 32 + 33 + 4096

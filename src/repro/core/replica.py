@@ -1,0 +1,1118 @@
+"""The SBFT replica state machine (Section V).
+
+One :class:`SBFTReplica` plays every role the paper assigns to replicas:
+
+* **Primary** of the current view: batches client requests into decision
+  blocks and broadcasts pre-prepare messages.
+* **Backup**: signs decision blocks with its σ/τ threshold shares and sends
+  them to the C-collectors of the slot.
+* **C-collector**: combines ``3f + c + 1`` σ-shares into a fast-path
+  full-commit-proof, or — after the fast-path timer — ``2f + c + 1`` τ-shares
+  into a linear-PBFT prepare certificate and later the τ(τ(h)) commit
+  certificate.
+* **E-collector**: combines ``f + 1`` π-shares over the post-execution state
+  digest into an execution certificate and sends each client its single
+  execute-ack with a Merkle proof.
+
+The same class also implements checkpointing / garbage collection
+(Section V-F), the dual-mode view change (Section V-G, with the safe-value
+computation in :mod:`repro.core.viewchange`), state transfer for lagging
+replicas, and the ingredient toggles used to build the protocol variants of
+the evaluation (linear communication, fast path, execution collectors).
+
+Cost accounting: message verification cost is charged *before* a message is
+processed (so a saturated replica's queue grows and latency rises), while
+signing / combining / execution costs are charged to the CPU inline (so they
+bound throughput).  Costs come from :class:`repro.crypto.costs.CryptoCosts`.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.core.config import SBFTConfig
+from repro.core.keys import ReplicaKeys, TrustedSetup
+from repro.core.log import ReplicaLog, SlotState
+from repro.core.messages import (
+    CheckpointMsg,
+    ClientReply,
+    ClientRequest,
+    Commit,
+    ExecuteAck,
+    FullCommitProof,
+    FullCommitProofSlow,
+    FullExecuteProof,
+    NewView,
+    Prepare,
+    PrePrepare,
+    SignShare,
+    SignState,
+    SlotEvidence,
+    StableCheckpoint,
+    StateTransferRequest,
+    StateTransferResponse,
+    ViewChange,
+)
+from repro.core.roles import commit_collectors, execution_collectors, primary_of_view
+from repro.core.viewchange import (
+    ACTION_ADOPT,
+    ACTION_COMMIT,
+    ACTION_NOOP,
+    FM_FAST_PROOF,
+    FM_NO_PRE_PREPARE,
+    FM_PRE_PREPARED,
+    LM_COMMIT_PROOF,
+    LM_NO_COMMIT,
+    LM_PREPARED,
+    NewViewPlan,
+    compute_new_view_plan,
+)
+from repro.crypto.costs import CryptoCosts, DEFAULT_COSTS
+from repro.crypto.hashing import block_digest, sha256_hex
+from repro.crypto.threshold import CombinedSignature
+from repro.errors import CryptoError
+from repro.services.interface import AuthenticatedService, Operation, ReplicatedService
+from repro.sim.events import Simulator
+from repro.sim.network import Network
+from repro.sim.process import Process
+
+
+class SBFTReplica(Process):
+    """One SBFT replica."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        network: Network,
+        node_id: int,
+        config: SBFTConfig,
+        keys: ReplicaKeys,
+        service: ReplicatedService,
+        costs: CryptoCosts = DEFAULT_COSTS,
+        client_directory: Optional[Dict[int, int]] = None,
+    ):
+        super().__init__(sim, node_id, name=f"replica-{node_id}")
+        self.network = network
+        self.config = config
+        self.keys = keys
+        self.service = service
+        self.costs = costs
+        # Maps client ids to network node ids (clients live on separate nodes).
+        self.client_directory = client_directory if client_directory is not None else {}
+
+        # Protocol state.
+        self.view = 0
+        self.last_executed = 0
+        self.last_stable = 0
+        self.log = ReplicaLog(config.window)
+        self.next_sequence = 1
+
+        # Primary state.
+        self._pending_requests: List[ClientRequest] = []
+        self._pending_request_ids: set = set()
+        self._batch_timer: Optional[int] = None
+
+        # Execution / reply state.
+        self._executing = False
+        self._last_reply: Dict[int, Tuple[int, int, int, Tuple[Any, ...]]] = {}
+        self._direct_reply_waiting: Dict[Tuple[int, int], int] = {}
+
+        # View-change state.
+        self._view_change_timer: Optional[int] = None
+        self._view_change_attempts = 0
+        self._view_changes_received: Dict[int, Dict[int, ViewChange]] = {}
+        self._view_change_sent_for: set = set()
+        self._new_view_sent_for: set = set()
+        self._request_first_seen: Dict[Tuple[int, int], float] = {}
+
+        # Checkpoint state (used when execution collectors are disabled).
+        self._checkpoint_shares: Dict[int, Dict[int, Any]] = {}
+
+        # Fault-injection behaviour (None = honest).
+        self.byzantine_mode: Optional[str] = None
+
+        # Statistics.
+        self.stats = {
+            "blocks_proposed": 0,
+            "blocks_committed": 0,
+            "blocks_committed_fast": 0,
+            "blocks_committed_slow": 0,
+            "blocks_executed": 0,
+            "view_changes": 0,
+            "state_transfers": 0,
+        }
+
+    # ==================================================================
+    # Role helpers
+    # ==================================================================
+    @property
+    def is_primary(self) -> bool:
+        return primary_of_view(self.view, self.config.n) == self.node_id
+
+    @property
+    def primary(self) -> int:
+        return primary_of_view(self.view, self.config.n)
+
+    def _c_collectors(self, sequence: int, view: Optional[int] = None) -> List[int]:
+        return commit_collectors(
+            sequence,
+            self.view if view is None else view,
+            self.config.n,
+            self.config.collectors_per_slot,
+            include_primary_last=True,
+        )
+
+    def _e_collectors(self, sequence: int, view: Optional[int] = None) -> List[int]:
+        return execution_collectors(
+            sequence,
+            self.view if view is None else view,
+            self.config.n,
+            self.config.collectors_per_slot,
+        )
+
+    def _is_c_collector(self, sequence: int, view: Optional[int] = None) -> bool:
+        return self.node_id in self._c_collectors(sequence, view)
+
+    def _is_e_collector(self, sequence: int, view: Optional[int] = None) -> bool:
+        return self.node_id in self._e_collectors(sequence, view)
+
+    # ==================================================================
+    # Byzantine behaviour hooks (used by fault injection and tests)
+    # ==================================================================
+    def activate_byzantine(self, mode: str) -> None:
+        """Switch this replica to an adversarial behaviour.
+
+        Supported modes: ``silent`` (receive but never send), ``bad-shares``
+        (send invalid signature shares), ``equivocate`` (as primary, propose
+        conflicting blocks to different replicas).
+        """
+        self.byzantine_mode = mode
+
+    def _silenced(self) -> bool:
+        return self.byzantine_mode == "silent"
+
+    # ==================================================================
+    # Sending helpers
+    # ==================================================================
+    def _send(self, dst: int, message: Any) -> None:
+        if self.crashed or self._silenced():
+            return
+        self.network.send(self.node_id, dst, message)
+
+    def _broadcast(self, message: Any, include_self: bool = True) -> None:
+        if self.crashed or self._silenced():
+            return
+        for dst in range(self.config.n):
+            if dst == self.node_id and not include_self:
+                continue
+            self.network.send(self.node_id, dst, message)
+
+    def _send_to_client(self, client_id: int, message: Any) -> None:
+        node = self.client_directory.get(client_id)
+        if node is None:
+            return
+        self._send(node, message)
+
+    # ==================================================================
+    # Message dispatch
+    # ==================================================================
+    def on_message(self, message: Any, src: int) -> None:
+        cost = self._message_cost(message)
+        self.compute(cost, self._dispatch, message, src)
+
+    def _message_cost(self, message: Any) -> float:
+        """Verification cost charged before processing a message."""
+        costs = self.costs
+        if isinstance(message, ClientRequest):
+            return costs.rsa_verify
+        if isinstance(message, PrePrepare):
+            return costs.rsa_verify * (1 + len(message.requests)) + costs.hash_op
+        if isinstance(message, SignShare):
+            shares = (1 if message.sigma_share else 0) + (1 if message.tau_share else 0)
+            return costs.bls_batch_verify_per_share * shares
+        if isinstance(message, (Commit, SignState, CheckpointMsg)):
+            return costs.bls_batch_verify_per_share
+        if isinstance(message, (FullCommitProof, FullCommitProofSlow, Prepare, FullExecuteProof, StableCheckpoint)):
+            return costs.bls_verify_combined
+        if isinstance(message, ClientReply):
+            return costs.rsa_verify
+        if isinstance(message, ViewChange):
+            return costs.bls_verify_combined + costs.hash_op * max(1, len(message.slots))
+        if isinstance(message, NewView):
+            return costs.bls_verify_combined * max(1, len(message.view_changes))
+        return costs.hash_op
+
+    def _dispatch(self, message: Any, src: int) -> None:
+        if isinstance(message, ClientRequest):
+            self._on_client_request(message, src)
+        elif isinstance(message, PrePrepare):
+            self._on_pre_prepare(message, src)
+        elif isinstance(message, SignShare):
+            self._on_sign_share(message, src)
+        elif isinstance(message, FullCommitProof):
+            self._on_full_commit_proof(message, src)
+        elif isinstance(message, Prepare):
+            self._on_prepare(message, src)
+        elif isinstance(message, Commit):
+            self._on_commit(message, src)
+        elif isinstance(message, FullCommitProofSlow):
+            self._on_full_commit_proof_slow(message, src)
+        elif isinstance(message, SignState):
+            self._on_sign_state(message, src)
+        elif isinstance(message, FullExecuteProof):
+            self._on_full_execute_proof(message, src)
+        elif isinstance(message, CheckpointMsg):
+            self._on_checkpoint(message, src)
+        elif isinstance(message, StableCheckpoint):
+            self._on_stable_checkpoint(message, src)
+        elif isinstance(message, ViewChange):
+            self._on_view_change(message, src)
+        elif isinstance(message, NewView):
+            self._on_new_view(message, src)
+        elif isinstance(message, StateTransferRequest):
+            self._on_state_transfer_request(message, src)
+        elif isinstance(message, StateTransferResponse):
+            self._on_state_transfer_response(message, src)
+
+    # ==================================================================
+    # Client requests and primary batching
+    # ==================================================================
+    def _request_executed(self, request_id: Tuple[int, int]) -> bool:
+        client_id, timestamp = request_id
+        last = self._last_reply.get(client_id)
+        return last is not None and last[0] >= timestamp
+
+    def _on_client_request(self, request: ClientRequest, src: int) -> None:
+        request_id = request.request_id
+        if self._request_executed(request_id):
+            # Retransmission of an executed request: reply directly (f+1 path).
+            self._send_direct_reply(request.client_id)
+            return
+
+        self._request_first_seen.setdefault(request_id, self.sim.now)
+        if src != self.primary and src != self.node_id:
+            # Came straight from a client.  Remember who to answer directly if
+            # the client asked every replica (its retry path), and make sure a
+            # view change happens if the primary never orders it.
+            if not self.is_primary:
+                self._direct_reply_waiting[request_id] = request.client_id
+                self._send(self.primary, request)
+                self._ensure_view_change_timer()
+
+        if self.is_primary:
+            if request_id in self._pending_request_ids:
+                return
+            self._pending_request_ids.add(request_id)
+            self._pending_requests.append(request)
+            self._maybe_propose()
+
+    def _maybe_propose(self) -> None:
+        if not self.is_primary or self.crashed:
+            return
+        if not self._pending_requests:
+            return
+        if len(self._pending_requests) >= self.config.batch_size:
+            self._propose_block()
+        elif self._batch_timer is None:
+            self._batch_timer = self.set_timer(self.config.batch_timeout, self._on_batch_timeout)
+
+    def _on_batch_timeout(self) -> None:
+        self._batch_timer = None
+        if self.is_primary and self._pending_requests:
+            self._propose_block()
+        self._maybe_propose()
+
+    def _can_propose(self) -> bool:
+        outstanding = self.next_sequence - 1 - self.last_executed
+        if outstanding >= self.config.active_window:
+            return False
+        if self.next_sequence > self.last_stable + self.config.window:
+            return False
+        return True
+
+    def _propose_block(self) -> None:
+        if not self._can_propose():
+            return
+        if self._batch_timer is not None:
+            self.cancel_timer(self._batch_timer)
+            self._batch_timer = None
+        batch = self._pending_requests[: self.config.batch_size]
+        self._pending_requests = self._pending_requests[self.config.batch_size :]
+        for request in batch:
+            self._pending_request_ids.discard(request.request_id)
+
+        sequence = self.next_sequence
+        self.next_sequence += 1
+        requests = tuple(batch)
+        digest = block_digest(sequence, self.view, [r.request_id for r in requests])
+        self.charge_cpu(self.costs.hash_op + self.costs.rsa_sign)
+        signature = self.keys.signing_key.sign(("pre-prepare", sequence, self.view, digest))
+        message = PrePrepare(
+            sequence=sequence,
+            view=self.view,
+            requests=requests,
+            digest=digest,
+            primary_signature=signature,
+        )
+        self.stats["blocks_proposed"] += 1
+
+        if self.byzantine_mode == "equivocate":
+            self._equivocate_pre_prepare(sequence, requests, signature)
+        else:
+            self._broadcast(message)
+
+        # Keep draining the backlog.
+        if self._pending_requests:
+            self._maybe_propose()
+
+    def _equivocate_pre_prepare(
+        self, sequence: int, requests: Tuple[ClientRequest, ...], signature: Any
+    ) -> None:
+        """Byzantine primary: send conflicting blocks to odd/even replicas."""
+        digest_a = block_digest(sequence, self.view, [r.request_id for r in requests])
+        reversed_requests = tuple(reversed(requests))
+        digest_b = block_digest(sequence, self.view, [r.request_id for r in reversed_requests])
+        msg_a = PrePrepare(sequence, self.view, requests, digest_a, signature)
+        msg_b = PrePrepare(sequence, self.view, reversed_requests, digest_b, signature)
+        for dst in range(self.config.n):
+            self.network.send(self.node_id, dst, msg_a if dst % 2 == 0 else msg_b)
+
+    # ==================================================================
+    # Fast path: pre-prepare -> sign-share -> full-commit-proof
+    # ==================================================================
+    def _on_pre_prepare(self, message: PrePrepare, src: int) -> None:
+        if message.view != self.view:
+            return
+        if src != self.primary:
+            return
+        slot = self.log.slot(message.sequence)
+        if slot.pre_prepare is not None and slot.pre_prepare_view == message.view:
+            return
+        if not self.log.in_window(message.sequence, self.last_stable):
+            return
+        expected_digest = block_digest(
+            message.sequence, message.view, [r.request_id for r in message.requests]
+        )
+        if expected_digest != message.digest:
+            return
+
+        if slot.pre_prepare is not None and message.view > slot.pre_prepare_view:
+            self._reset_slot_for_new_view(slot)
+        slot.pre_prepare = message
+        slot.pre_prepare_view = message.view
+        slot.digest = message.digest
+        for request in message.requests:
+            self._request_first_seen.setdefault(request.request_id, self.sim.now)
+        self._ensure_view_change_timer()
+        self._send_sign_share(slot)
+        self._try_execute()
+
+    def _reset_slot_for_new_view(self, slot: SlotState) -> None:
+        """Clear per-view ordering state when a slot is re-proposed in a later view."""
+        slot.sign_share_sent = False
+        slot.fast_proof_sent = False
+        slot.prepare_sent = False
+        slot.commit_sent = False
+        slot.slow_proof_sent = False
+        slot.sigma_shares.clear()
+        slot.tau_shares.clear()
+        slot.commit_shares.clear()
+        slot.prepare_certificate = None
+        slot.prepare_certificate_view = -1
+        if slot.fast_path_timer is not None:
+            self.cancel_timer(slot.fast_path_timer)
+            slot.fast_path_timer = None
+
+    def _send_sign_share(self, slot: SlotState) -> None:
+        if slot.sign_share_sent or slot.digest is None:
+            return
+        slot.sign_share_sent = True
+        sign_message = ("sign", slot.sequence, slot.pre_prepare_view, slot.digest)
+        if self.byzantine_mode == "bad-shares":
+            sigma_share = self.keys.sigma.forge_share(self.node_id, sign_message)
+            tau_share = self.keys.tau.forge_share(self.node_id, sign_message)
+        else:
+            sigma_share = self.keys.sigma.sign_share(self.node_id, sign_message)
+            tau_share = self.keys.tau.sign_share(self.node_id, sign_message)
+        self.charge_cpu(2 * self.costs.bls_sign_share)
+        share_message = SignShare(
+            sequence=slot.sequence,
+            view=slot.pre_prepare_view,
+            replica_id=self.node_id,
+            digest=slot.digest,
+            sigma_share=sigma_share if self.config.fast_path_enabled else None,
+            tau_share=tau_share,
+        )
+        for collector in self._c_collectors(slot.sequence, slot.pre_prepare_view):
+            self._send(collector, share_message)
+
+    def _on_sign_share(self, message: SignShare, src: int) -> None:
+        if message.view != self.view:
+            return
+        if not self._is_c_collector(message.sequence, message.view):
+            return
+        slot = self.log.slot(message.sequence)
+        if message.replica_id in slot.sigma_shares or message.replica_id in slot.tau_shares:
+            return
+        sign_message = ("sign", message.sequence, message.view, message.digest)
+        if message.sigma_share is not None and self.keys.sigma.verify_share(message.sigma_share):
+            if message.sigma_share.message == sign_message:
+                slot.sigma_shares[message.replica_id] = message.sigma_share
+        if message.tau_share is not None and self.keys.tau.verify_share(message.tau_share):
+            if message.tau_share.message == sign_message:
+                slot.tau_shares[message.replica_id] = message.tau_share
+
+        self._collector_progress(slot, message.view, message.digest)
+
+    def _collector_progress(self, slot: SlotState, view: int, digest: str) -> None:
+        """Called whenever a C-collector gains shares for a slot."""
+        config = self.config
+        if (
+            config.fast_path_enabled
+            and not slot.fast_proof_sent
+            and len(slot.sigma_shares) >= config.sigma_threshold
+        ):
+            self._send_full_commit_proof(slot, view, digest)
+            return
+
+        if len(slot.tau_shares) >= config.tau_threshold and not slot.prepare_sent:
+            if not config.fast_path_enabled:
+                self._send_prepare(slot, view, digest)
+            elif slot.fast_path_timer is None and not slot.fast_proof_sent:
+                slot.fast_path_timer = self.set_timer(
+                    config.fast_path_timeout, self._on_fast_path_timeout, slot.sequence, view, digest
+                )
+
+    def _on_fast_path_timeout(self, sequence: int, view: int, digest: str) -> None:
+        slot = self.log.peek(sequence)
+        if slot is None:
+            return
+        slot.fast_path_timer = None
+        if slot.fast_proof_sent or slot.prepare_sent or slot.committed:
+            return
+        if len(slot.tau_shares) >= self.config.tau_threshold:
+            self._send_prepare(slot, view, digest)
+
+    def _send_full_commit_proof(self, slot: SlotState, view: int, digest: str) -> None:
+        slot.fast_proof_sent = True
+        if slot.fast_path_timer is not None:
+            self.cancel_timer(slot.fast_path_timer)
+            slot.fast_path_timer = None
+        shares = list(slot.sigma_shares.values())[: self.config.sigma_threshold]
+        self.charge_cpu(self.costs.combine_cost(len(shares)))
+        try:
+            proof = self.keys.sigma.combine(shares, verify=False)
+        except CryptoError:
+            slot.fast_proof_sent = False
+            return
+        self._broadcast(FullCommitProof(sequence=slot.sequence, view=view, digest=digest, sigma_signature=proof))
+
+    def _send_prepare(self, slot: SlotState, view: int, digest: str) -> None:
+        slot.prepare_sent = True
+        shares = list(slot.tau_shares.values())[: self.config.tau_threshold]
+        self.charge_cpu(self.costs.combine_cost(len(shares)))
+        try:
+            certificate = self.keys.tau.combine(shares, verify=False)
+        except CryptoError:
+            slot.prepare_sent = False
+            return
+        self._broadcast(Prepare(sequence=slot.sequence, view=view, digest=digest, tau_signature=certificate))
+
+    def _on_full_commit_proof(self, message: FullCommitProof, src: int) -> None:
+        slot = self.log.slot(message.sequence)
+        if slot.committed:
+            return
+        sign_message = ("sign", message.sequence, message.view, message.digest)
+        if not self.keys.sigma.verify_message(message.sigma_signature, sign_message):
+            return
+        slot.commit_proof = message.sigma_signature
+        slot.digest = slot.digest or message.digest
+        self._mark_committed(slot, fast=True)
+
+    # ==================================================================
+    # Linear-PBFT fallback: prepare -> commit -> full-commit-proof-slow
+    # ==================================================================
+    def _on_prepare(self, message: Prepare, src: int) -> None:
+        if message.view != self.view:
+            return
+        slot = self.log.slot(message.sequence)
+        if slot.commit_sent or slot.committed:
+            return
+        sign_message = ("sign", message.sequence, message.view, message.digest)
+        if not self.keys.tau.verify_message(message.tau_signature, sign_message):
+            return
+        slot.prepare_certificate = message.tau_signature
+        slot.prepare_certificate_view = message.view
+        slot.commit_sent = True
+        commit_message = ("commit", message.sequence, message.view, message.digest)
+        if self.byzantine_mode == "bad-shares":
+            share = self.keys.tau.forge_share(self.node_id, commit_message)
+        else:
+            share = self.keys.tau.sign_share(self.node_id, commit_message)
+        self.charge_cpu(self.costs.bls_sign_share)
+        commit = Commit(
+            sequence=message.sequence,
+            view=message.view,
+            replica_id=self.node_id,
+            digest=message.digest,
+            tau_share_on_tau=share,
+        )
+        for collector in self._c_collectors(message.sequence, message.view):
+            self._send(collector, commit)
+
+    def _on_commit(self, message: Commit, src: int) -> None:
+        if message.view != self.view:
+            return
+        if not self._is_c_collector(message.sequence, message.view):
+            return
+        slot = self.log.slot(message.sequence)
+        if slot.slow_proof_sent or message.replica_id in slot.commit_shares:
+            return
+        if not self.keys.tau.verify_share(message.tau_share_on_tau):
+            return
+        slot.commit_shares[message.replica_id] = message.tau_share_on_tau
+        if len(slot.commit_shares) >= self.config.tau_threshold:
+            slot.slow_proof_sent = True
+            shares = list(slot.commit_shares.values())[: self.config.tau_threshold]
+            self.charge_cpu(self.costs.combine_cost(len(shares)))
+            try:
+                proof = self.keys.tau.combine(shares, verify=False)
+            except CryptoError:
+                slot.slow_proof_sent = False
+                return
+            self._broadcast(
+                FullCommitProofSlow(
+                    sequence=message.sequence, view=message.view, digest=message.digest, tau_tau_signature=proof
+                )
+            )
+
+    def _on_full_commit_proof_slow(self, message: FullCommitProofSlow, src: int) -> None:
+        slot = self.log.slot(message.sequence)
+        if slot.committed:
+            return
+        commit_message = ("commit", message.sequence, message.view, message.digest)
+        if not self.keys.tau.verify_message(message.tau_tau_signature, commit_message):
+            return
+        slot.commit_proof_slow = message.tau_tau_signature
+        slot.digest = slot.digest or message.digest
+        self._mark_committed(slot, fast=False)
+
+    # ==================================================================
+    # Commit, execution, acknowledgement
+    # ==================================================================
+    def _mark_committed(self, slot: SlotState, fast: bool) -> None:
+        if slot.committed:
+            return
+        slot.committed = True
+        slot.committed_via_fast_path = fast
+        if slot.fast_path_timer is not None:
+            self.cancel_timer(slot.fast_path_timer)
+            slot.fast_path_timer = None
+        self.stats["blocks_committed"] += 1
+        self.stats["blocks_committed_fast" if fast else "blocks_committed_slow"] += 1
+        # Section V-F: committing in the fast path advances the stable point.
+        if fast:
+            implied_stable = slot.sequence - self.config.active_window
+            if implied_stable > self.last_stable:
+                self.last_stable = implied_stable
+        if slot.pre_prepare is None and slot.sequence > self.last_executed + self.config.active_window:
+            self._request_state_transfer()
+        self._try_execute()
+
+    def _try_execute(self) -> None:
+        if self._executing or self.crashed:
+            return
+        next_sequence = self.last_executed + 1
+        slot = self.log.peek(next_sequence)
+        if slot is None or not slot.committed or slot.pre_prepare is None or slot.executed:
+            return
+        operations = self._flatten_operations(slot.pre_prepare.requests)
+        cost = sum(self.service.execution_cost(op) for op in operations)
+        cost += self.costs.hash_op * max(1, len(operations))
+        self._executing = True
+        self.compute(cost, self._finish_execution, slot.sequence)
+
+    @staticmethod
+    def _flatten_operations(requests: Tuple[ClientRequest, ...]) -> List[Operation]:
+        operations: List[Operation] = []
+        for request in requests:
+            operations.extend(request.operations)
+        return operations
+
+    def _finish_execution(self, sequence: int) -> None:
+        self._executing = False
+        slot = self.log.peek(sequence)
+        if slot is None or slot.executed or not slot.committed or slot.pre_prepare is None:
+            self._try_execute()
+            return
+        if sequence != self.last_executed + 1:
+            self._try_execute()
+            return
+
+        operations = self._flatten_operations(slot.pre_prepare.requests)
+        results = self.service.execute_block(sequence, operations)
+        slot.execution_results = results
+        slot.executed = True
+        self.last_executed = sequence
+        self.stats["blocks_executed"] += 1
+
+        if isinstance(self.service, AuthenticatedService):
+            state_digest = self.service.digest()
+        else:
+            state_digest = sha256_hex("state", self.node_id, sequence)
+        slot.state_digest = state_digest
+
+        self._record_replies(slot)
+        self._cancel_request_timers(slot)
+
+        if self.config.execution_collectors_enabled:
+            self._send_sign_state(slot)
+            self._maybe_send_execute_acks(slot.sequence)
+        else:
+            self._send_direct_replies_for_slot(slot)
+            self._maybe_send_checkpoint(slot)
+
+        self._answer_waiting_direct_replies(slot)
+
+        if self.is_primary:
+            self._maybe_propose()
+        self._try_execute()
+
+    def _record_replies(self, slot: SlotState) -> None:
+        """Remember the latest reply per client (deduplication + retransmits)."""
+        position = 0
+        for request in slot.pre_prepare.requests:
+            count = len(request.operations)
+            values = tuple(result.value for result in slot.execution_results[position : position + count])
+            self._last_reply[request.client_id] = (request.timestamp, slot.sequence, position, values)
+            position += count
+
+    def _cancel_request_timers(self, slot: SlotState) -> None:
+        for request in slot.pre_prepare.requests:
+            self._request_first_seen.pop(request.request_id, None)
+        if not self._request_first_seen and self._view_change_timer is not None:
+            self.cancel_timer(self._view_change_timer)
+            self._view_change_timer = None
+            self._view_change_attempts = 0
+
+    # ------------------------------------------------------------------
+    # Execution collectors (ingredient 3)
+    # ------------------------------------------------------------------
+    def _send_sign_state(self, slot: SlotState) -> None:
+        sign_message = ("state", slot.sequence, slot.state_digest)
+        if self.byzantine_mode == "bad-shares":
+            share = self.keys.pi.forge_share(self.node_id, sign_message)
+        else:
+            share = self.keys.pi.sign_share(self.node_id, sign_message)
+        self.charge_cpu(self.costs.bls_sign_share)
+        message = SignState(
+            sequence=slot.sequence,
+            replica_id=self.node_id,
+            state_digest=slot.state_digest,
+            pi_share=share,
+        )
+        for collector in self._e_collectors(slot.sequence):
+            self._send(collector, message)
+        # The collector may be this replica itself only if selection allows it;
+        # E-collectors exclude the primary but may include us.
+
+    def _on_sign_state(self, message: SignState, src: int) -> None:
+        if not self._is_e_collector(message.sequence):
+            return
+        slot = self.log.slot(message.sequence)
+        if message.replica_id in slot.sign_state_shares:
+            return
+        if not self.keys.pi.verify_share(message.pi_share):
+            return
+        slot.sign_state_shares[message.replica_id] = message.pi_share
+        if slot.execute_proof is None and len(slot.sign_state_shares) >= self.config.pi_threshold:
+            shares = list(slot.sign_state_shares.values())[: self.config.pi_threshold]
+            self.charge_cpu(self.costs.combine_cost(len(shares)))
+            try:
+                proof = self.keys.pi.combine(shares, verify=False)
+            except CryptoError:
+                return
+            slot.execute_proof = proof
+            slot.execute_proof_sent = True
+            self._broadcast(
+                FullExecuteProof(
+                    sequence=message.sequence, state_digest=message.state_digest, pi_signature=proof
+                )
+            )
+        self._maybe_send_execute_acks(message.sequence)
+
+    def _on_full_execute_proof(self, message: FullExecuteProof, src: int) -> None:
+        slot = self.log.slot(message.sequence)
+        sign_message = ("state", message.sequence, message.state_digest)
+        if not self.keys.pi.verify_message(message.pi_signature, sign_message):
+            return
+        if slot.execute_proof is None:
+            slot.execute_proof = message.pi_signature
+        self._advance_stable(message.sequence)
+        if self.last_executed + self.config.window // 2 < message.sequence:
+            self._request_state_transfer(hint=src)
+        self._maybe_send_execute_acks(message.sequence)
+
+    def _maybe_send_execute_acks(self, sequence: int) -> None:
+        """E-collector: after both the π proof and local execution are ready,
+        send each client its single execute-ack with a Merkle proof."""
+        if not self._is_e_collector(sequence):
+            return
+        slot = self.log.peek(sequence)
+        if slot is None or slot.acks_sent or slot.execute_proof is None or not slot.executed:
+            return
+        if slot.pre_prepare is None:
+            return
+        slot.acks_sent = True
+        position = 0
+        for request in slot.pre_prepare.requests:
+            count = len(request.operations)
+            values = tuple(result.value for result in slot.execution_results[position : position + count])
+            proof = None
+            if isinstance(self.service, AuthenticatedService) and count > 0:
+                self.charge_cpu(self.costs.merkle_proof_per_level * 20)
+                proof = self.service.prove(sequence, position)
+            ack = ExecuteAck(
+                sequence=sequence,
+                client_id=request.client_id,
+                timestamp=request.timestamp,
+                first_position=position,
+                values=values,
+                state_digest=slot.state_digest or "",
+                pi_signature=slot.execute_proof,
+                proof=proof,
+            )
+            self._send_to_client(request.client_id, ack)
+            position += count
+
+    # ------------------------------------------------------------------
+    # PBFT-style f+1 replies (used when ingredient 3 is disabled, and as the
+    # client's retry fallback)
+    # ------------------------------------------------------------------
+    def _send_direct_replies_for_slot(self, slot: SlotState) -> None:
+        position = 0
+        for request in slot.pre_prepare.requests:
+            count = len(request.operations)
+            values = tuple(result.value for result in slot.execution_results[position : position + count])
+            self.charge_cpu(self.costs.rsa_sign)
+            signature = self.keys.signing_key.sign(("reply", request.client_id, request.timestamp, values))
+            reply = ClientReply(
+                sequence=slot.sequence,
+                client_id=request.client_id,
+                timestamp=request.timestamp,
+                values=values,
+                replica_id=self.node_id,
+                signature=signature,
+            )
+            self._send_to_client(request.client_id, reply)
+            position += count
+
+    def _answer_waiting_direct_replies(self, slot: SlotState) -> None:
+        for request in slot.pre_prepare.requests:
+            if request.request_id in self._direct_reply_waiting:
+                del self._direct_reply_waiting[request.request_id]
+                self._send_direct_reply(request.client_id)
+
+    def _send_direct_reply(self, client_id: int) -> None:
+        last = self._last_reply.get(client_id)
+        if last is None:
+            return
+        timestamp, sequence, _position, values = last
+        self.charge_cpu(self.costs.rsa_sign)
+        signature = self.keys.signing_key.sign(("reply", client_id, timestamp, values))
+        reply = ClientReply(
+            sequence=sequence,
+            client_id=client_id,
+            timestamp=timestamp,
+            values=values,
+            replica_id=self.node_id,
+            signature=signature,
+        )
+        self._send_to_client(client_id, reply)
+
+    # ==================================================================
+    # Checkpoints, garbage collection, stable point
+    # ==================================================================
+    def _maybe_send_checkpoint(self, slot: SlotState) -> None:
+        if slot.sequence % self.config.checkpoint_every != 0:
+            return
+        sign_message = ("checkpoint", slot.sequence, slot.state_digest)
+        share = self.keys.pi.sign_share(self.node_id, sign_message)
+        self.charge_cpu(self.costs.bls_sign_share)
+        message = CheckpointMsg(
+            sequence=slot.sequence,
+            replica_id=self.node_id,
+            state_digest=slot.state_digest or "",
+            pi_share=share,
+        )
+        self._broadcast(message)
+
+    def _on_checkpoint(self, message: CheckpointMsg, src: int) -> None:
+        if not self.keys.pi.verify_share(message.pi_share):
+            return
+        shares = self._checkpoint_shares.setdefault(message.sequence, {})
+        shares[message.replica_id] = message.pi_share
+        if len(shares) >= self.config.pi_threshold and message.sequence > self.last_stable:
+            self.charge_cpu(self.costs.combine_cost(len(shares)))
+            try:
+                proof = self.keys.pi.combine(list(shares.values())[: self.config.pi_threshold], verify=False)
+            except CryptoError:
+                return
+            self._broadcast(
+                StableCheckpoint(
+                    sequence=message.sequence, state_digest=message.state_digest, pi_signature=proof
+                )
+            )
+            self._advance_stable(message.sequence)
+
+    def _on_stable_checkpoint(self, message: StableCheckpoint, src: int) -> None:
+        sign_message = ("checkpoint", message.sequence, message.state_digest)
+        if not self.keys.pi.verify_message(message.pi_signature, sign_message):
+            return
+        self._advance_stable(message.sequence)
+        if self.last_executed + self.config.window // 2 < message.sequence:
+            self._request_state_transfer(hint=src)
+
+    def _advance_stable(self, sequence: int) -> None:
+        if sequence > self.last_stable:
+            self.last_stable = sequence
+        collect_up_to = min(self.last_stable, self.last_executed) - self.config.window
+        if collect_up_to > 0:
+            self.log.garbage_collect(collect_up_to)
+            stale_checkpoints = [s for s in self._checkpoint_shares if s <= collect_up_to]
+            for stale in stale_checkpoints:
+                del self._checkpoint_shares[stale]
+
+    # ==================================================================
+    # View change (Section V-G)
+    # ==================================================================
+    def _ensure_view_change_timer(self) -> None:
+        if self._view_change_timer is None and not self.crashed:
+            timeout = self.config.view_change_timeout * (2**self._view_change_attempts)
+            self._view_change_timer = self.set_timer(timeout, self._on_view_change_timeout)
+
+    def _on_view_change_timeout(self) -> None:
+        self._view_change_timer = None
+        if not self._request_first_seen:
+            return
+        # Only suspect the primary if some request has actually been waiting a
+        # full timeout (progress on other requests resets nothing — the timer
+        # measures the oldest outstanding request, as in PBFT).
+        timeout = self.config.view_change_timeout * (2**self._view_change_attempts)
+        oldest = min(self._request_first_seen.values())
+        if self.sim.now - oldest < timeout:
+            self._ensure_view_change_timer()
+            return
+        self._view_change_attempts += 1
+        self._start_view_change(self.view + 1)
+
+    def _start_view_change(self, new_view: int) -> None:
+        if new_view <= self.view or new_view in self._view_change_sent_for:
+            return
+        self._view_change_sent_for.add(new_view)
+        self.stats["view_changes"] += 1
+        message = self.build_view_change(new_view)
+        # Send to the new primary; also to everyone so that f+1 observations
+        # can trigger laggards to join (the paper's liveness rule 2).
+        self._broadcast(message)
+        self._ensure_view_change_timer()
+
+    def build_view_change(self, new_view: int) -> ViewChange:
+        """Construct this replica's view-change message for ``new_view``."""
+        slots: List[SlotEvidence] = []
+        top = self.last_stable + self.config.window
+        for sequence in self.log.sequences():
+            if sequence <= self.last_stable or sequence > top:
+                continue
+            slot = self.log.peek(sequence)
+            if slot is None:
+                continue
+            evidence = self._slot_evidence(slot)
+            if evidence is not None:
+                slots.append(evidence)
+        stable_slot = self.log.peek(self.last_stable)
+        stable_proof = stable_slot.execute_proof if stable_slot is not None else None
+        return ViewChange(
+            new_view=new_view,
+            replica_id=self.node_id,
+            last_stable=self.last_stable,
+            stable_proof=stable_proof,
+            slots=tuple(slots),
+        )
+
+    def _slot_evidence(self, slot: SlotState) -> Optional[SlotEvidence]:
+        digest = slot.digest
+        # Linear-PBFT mode evidence.
+        if slot.commit_proof_slow is not None:
+            lm = (LM_COMMIT_PROOF, slot.commit_proof_slow, digest)
+        elif slot.prepare_certificate is not None:
+            lm = (LM_PREPARED, slot.prepare_certificate, slot.prepare_certificate_view, digest)
+        else:
+            lm = (LM_NO_COMMIT,)
+        # Fast mode evidence.
+        if slot.commit_proof is not None:
+            fm = (FM_FAST_PROOF, slot.commit_proof, digest)
+        elif slot.pre_prepare is not None:
+            sign_message = ("sign", slot.sequence, slot.pre_prepare_view, digest)
+            share = self.keys.sigma.sign_share(self.node_id, sign_message)
+            fm = (FM_PRE_PREPARED, share, slot.pre_prepare_view, digest)
+        else:
+            fm = (FM_NO_PRE_PREPARE,)
+        if lm[0] == LM_NO_COMMIT and fm[0] == FM_NO_PRE_PREPARE:
+            return None
+        requests_by_digest: Tuple = ()
+        if slot.pre_prepare is not None and digest is not None:
+            requests_by_digest = ((digest, slot.pre_prepare.requests),)
+        return SlotEvidence(
+            sequence=slot.sequence, lm=lm, fm=fm, requests_by_digest=requests_by_digest
+        )
+
+    def _on_view_change(self, message: ViewChange, src: int) -> None:
+        if message.new_view <= self.view:
+            return
+        per_view = self._view_changes_received.setdefault(message.new_view, {})
+        per_view[message.replica_id] = message
+
+        # Liveness rule: join the view change once f+1 replicas want it.
+        if (
+            len(per_view) >= self.config.f + 1
+            and message.new_view not in self._view_change_sent_for
+        ):
+            self._start_view_change(message.new_view)
+
+        # If we are the new primary, try to assemble a new-view message.
+        if primary_of_view(message.new_view, self.config.n) == self.node_id:
+            if len(per_view) >= self.config.view_change_quorum:
+                self._send_new_view(message.new_view, per_view)
+
+    def _send_new_view(self, new_view: int, per_view: Dict[int, ViewChange]) -> None:
+        if self.view >= new_view or new_view in self._new_view_sent_for:
+            return
+        self._new_view_sent_for.add(new_view)
+        selected = tuple(list(per_view.values())[: self.config.view_change_quorum])
+        self.charge_cpu(self.costs.bls_verify_combined * len(selected))
+        message = NewView(view=new_view, view_changes=selected)
+        self._broadcast(message)
+
+    def _on_new_view(self, message: NewView, src: int) -> None:
+        if message.view <= self.view:
+            return
+        if primary_of_view(message.view, self.config.n) != src:
+            return
+        if len(message.view_changes) < self.config.view_change_quorum:
+            return
+        try:
+            plan = compute_new_view_plan(
+                message.view,
+                message.view_changes,
+                self.config,
+                sigma=self.keys.sigma,
+                tau=self.keys.tau,
+                pi=self.keys.pi,
+            )
+        except ValueError:
+            return
+        self._enter_view(message.view, plan)
+
+    def _enter_view(self, new_view: int, plan: NewViewPlan) -> None:
+        self.view = new_view
+        self._view_change_attempts = 0
+        if self._view_change_timer is not None:
+            self.cancel_timer(self._view_change_timer)
+            self._view_change_timer = None
+        if self._batch_timer is not None:
+            self.cancel_timer(self._batch_timer)
+            self._batch_timer = None
+        self._view_changes_received = {
+            view: msgs for view, msgs in self._view_changes_received.items() if view > new_view
+        }
+
+        max_decided = plan.last_stable
+        for sequence, decision in sorted(plan.decisions.items()):
+            slot = self.log.slot(sequence)
+            max_decided = max(max_decided, sequence)
+            if decision.action == ACTION_COMMIT:
+                if decision.requests is not None and slot.pre_prepare is None:
+                    slot.pre_prepare = PrePrepare(
+                        sequence=sequence,
+                        view=new_view,
+                        requests=decision.requests,
+                        digest=decision.digest or "",
+                        primary_signature=None,
+                    )
+                    slot.pre_prepare_view = new_view
+                slot.digest = decision.digest or slot.digest
+                if decision.via_fast_path:
+                    slot.commit_proof = decision.certificate
+                else:
+                    slot.commit_proof_slow = decision.certificate
+                if not slot.committed:
+                    self._mark_committed(slot, fast=decision.via_fast_path)
+            elif decision.action == ACTION_ADOPT and self.is_primary:
+                requests = decision.requests or ()
+                self._repropose(sequence, requests)
+            elif decision.action == ACTION_NOOP and self.is_primary:
+                self._repropose(sequence, ())
+
+        if self.is_primary:
+            self.next_sequence = max(self.next_sequence, max_decided + 1)
+            self._maybe_propose()
+        self._try_execute()
+
+    def _repropose(self, sequence: int, requests: Tuple[ClientRequest, ...]) -> None:
+        """New primary re-proposes an adopted value (or a no-op) in the new view."""
+        digest = block_digest(sequence, self.view, [r.request_id for r in requests])
+        self.charge_cpu(self.costs.hash_op + self.costs.rsa_sign)
+        signature = self.keys.signing_key.sign(("pre-prepare", sequence, self.view, digest))
+        message = PrePrepare(
+            sequence=sequence,
+            view=self.view,
+            requests=requests,
+            digest=digest,
+            primary_signature=signature,
+        )
+        self._broadcast(message)
+
+    # ==================================================================
+    # State transfer (Section VIII; follows the PBFT mechanism)
+    # ==================================================================
+    def _request_state_transfer(self, hint: Optional[int] = None) -> None:
+        target = hint
+        if target is None or target == self.node_id:
+            candidates = [r for r in range(self.config.n) if r != self.node_id]
+            target = candidates[self.sim.rng.randrange(len(candidates))] if candidates else None
+        if target is None:
+            return
+        self.stats["state_transfers"] += 1
+        self._send(target, StateTransferRequest(replica_id=self.node_id, from_sequence=self.last_executed))
+
+    def _on_state_transfer_request(self, message: StateTransferRequest, src: int) -> None:
+        if self.last_executed <= message.from_sequence:
+            return
+        snapshot = self.service.snapshot()
+        stable_slot = self.log.peek(self.last_executed)
+        response = StateTransferResponse(
+            up_to_sequence=self.last_executed,
+            state_digest=stable_slot.state_digest if stable_slot else "",
+            snapshot=snapshot,
+            stable_proof=stable_slot.execute_proof if stable_slot else None,
+            last_executed_per_client={
+                client: last[0] for client, last in self._last_reply.items()
+            },
+        )
+        self._send(src, response)
+
+    def _on_state_transfer_response(self, message: StateTransferResponse, src: int) -> None:
+        if message.up_to_sequence <= self.last_executed:
+            return
+        self.charge_cpu(self.costs.persist_per_byte * 1_000_000)
+        self.service.restore(message.snapshot)
+        self.last_executed = message.up_to_sequence
+        self.last_stable = max(self.last_stable, message.up_to_sequence)
+        if message.last_executed_per_client:
+            for client, timestamp in message.last_executed_per_client.items():
+                current = self._last_reply.get(client)
+                if current is None or current[0] < timestamp:
+                    self._last_reply[client] = (timestamp, message.up_to_sequence, 0, ())
+        self._executing = False
+        self._try_execute()

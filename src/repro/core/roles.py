@@ -1,0 +1,64 @@
+"""Role assignment: primary rotation and collector selection.
+
+Section V-B: the primary of a view is chosen round-robin as a function of the
+view number; the C-collectors and E-collectors of a given (view, sequence) are
+a pseudo-random group of ``c + 1`` non-primary replicas chosen as a function of
+the sequence number and view.  For the fallback linear-PBFT path the primary
+is always included as the last collector, which guarantees progress whenever
+the primary is correct.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.crypto.hashing import sha256_int
+
+
+def primary_of_view(view: int, n: int) -> int:
+    """Round-robin primary for a view."""
+    return view % n
+
+
+def _pseudo_random_group(
+    label: str, sequence: int, view: int, n: int, count: int, exclude: int
+) -> List[int]:
+    """Deterministic pseudo-random group of ``count`` replicas excluding one.
+
+    The group is a function of (label, sequence, view) only, so every replica
+    computes the same group locally without coordination.
+    """
+    candidates = [r for r in range(n) if r != exclude]
+    if not candidates:
+        return [exclude]
+    count = min(count, len(candidates))
+    offset = sha256_int("collector-group", label, sequence, view) % len(candidates)
+    return [candidates[(offset + k) % len(candidates)] for k in range(count)]
+
+
+def commit_collectors(
+    sequence: int,
+    view: int,
+    n: int,
+    count: int,
+    include_primary_last: bool = True,
+) -> List[int]:
+    """C-collector group for a slot.
+
+    ``count`` is ``c + 1``.  When ``include_primary_last`` is set (the
+    fallback/linear path), the primary replaces the last member so that the
+    (c+1)-st collector to activate is always the primary (Section V-E).
+    """
+    primary = primary_of_view(view, n)
+    group = _pseudo_random_group("c-collector", sequence, view, n, count, exclude=primary)
+    if include_primary_last:
+        if not group:
+            return [primary]
+        group = group[:-1] + [primary]
+    return group
+
+
+def execution_collectors(sequence: int, view: int, n: int, count: int) -> List[int]:
+    """E-collector group for a slot (non-primary replicas, rotating with s)."""
+    primary = primary_of_view(view, n)
+    return _pseudo_random_group("e-collector", sequence, view, n, count, exclude=primary)

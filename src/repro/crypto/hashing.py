@@ -1,0 +1,64 @@
+"""SHA256 digest helpers.
+
+SBFT hashes a decision block together with its sequence number and view as
+``h = H(s || v || r)`` (Section V-C); the pipelined view-change variant
+additionally chains the previous block hash (Section V-G.1).
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Any, Iterable, Union
+
+Bytes = Union[bytes, bytearray, memoryview]
+
+
+def _to_bytes(value: Any) -> bytes:
+    """Canonical byte encoding for the values we hash."""
+    if isinstance(value, (bytes, bytearray, memoryview)):
+        return bytes(value)
+    if isinstance(value, str):
+        return value.encode("utf-8")
+    if isinstance(value, bool):
+        return b"\x01" if value else b"\x00"
+    if isinstance(value, int):
+        return value.to_bytes((value.bit_length() + 8) // 8 or 1, "big", signed=True)
+    if isinstance(value, float):
+        return repr(value).encode("utf-8")
+    if value is None:
+        return b"\x00none"
+    if isinstance(value, (list, tuple)):
+        parts = [_to_bytes(v) for v in value]
+        out = bytearray()
+        for part in parts:
+            out += len(part).to_bytes(4, "big")
+            out += part
+        return bytes(out)
+    if isinstance(value, dict):
+        return _to_bytes(sorted((str(k), _to_bytes(v)) for k, v in value.items()))
+    return repr(value).encode("utf-8")
+
+
+def sha256_hex(*parts: Any) -> str:
+    """Hex SHA256 of the canonical encoding of ``parts``."""
+    hasher = hashlib.sha256()
+    for part in parts:
+        encoded = _to_bytes(part)
+        hasher.update(len(encoded).to_bytes(4, "big"))
+        hasher.update(encoded)
+    return hasher.hexdigest()
+
+
+def sha256_int(*parts: Any) -> int:
+    """SHA256 of ``parts`` as an integer (used to hash onto the mock group)."""
+    return int(sha256_hex(*parts), 16)
+
+
+def block_digest(sequence: int, view: int, requests: Iterable[Any]) -> str:
+    """``H(s || v || r)`` — the digest replicas sign in the sign-share phase."""
+    return sha256_hex("block", sequence, view, list(requests))
+
+
+def chain_digest(sequence: int, view: int, requests: Iterable[Any], prev_digest: str) -> str:
+    """``H(s || v || r || h_{x-1})`` — pipelined view-change block digest."""
+    return sha256_hex("chain-block", sequence, view, list(requests), prev_digest)

@@ -1,0 +1,105 @@
+"""A structurally faithful (but insecure) pairing-friendly group.
+
+Real BLS signatures live in an elliptic-curve group ``G`` of prime order ``q``
+with a bilinear pairing ``e: G x G -> G_T``.  This module replaces ``G`` with
+the additive group ``Z_q`` — a group element is just its discrete logarithm —
+and the pairing with field multiplication::
+
+    e(aG, bG) = ab  (mod q)
+
+Every identity that BLS relies on holds exactly (bilinearity, the hardness
+assumptions obviously do not), so signing, verification, aggregation and
+Lagrange interpolation in the exponent run the same arithmetic a real library
+performs, just over a trivially breakable group.  DESIGN.md documents this
+substitution; :mod:`repro.crypto.costs` charges realistic times for each
+operation so the simulation is not distorted by the cheap math.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import CryptoError
+
+# Order of the BN-P254 group (the curve the paper uses).  Any large prime
+# works; using the real order keeps scalar arithmetic representative.
+BN254_ORDER = 0x2523648240000001BA344D8000000007FF9F800000000010A10000000000000D
+
+
+@dataclass(frozen=True)
+class GroupElement:
+    """An element of the mock group, represented by its exponent mod ``q``."""
+
+    value: int
+    order: int = BN254_ORDER
+
+    def __add__(self, other: "GroupElement") -> "GroupElement":
+        self._check(other)
+        return GroupElement((self.value + other.value) % self.order, self.order)
+
+    def __neg__(self) -> "GroupElement":
+        return GroupElement((-self.value) % self.order, self.order)
+
+    def __sub__(self, other: "GroupElement") -> "GroupElement":
+        return self + (-other)
+
+    def scale(self, scalar: int) -> "GroupElement":
+        """Scalar multiplication (``scalar * P``)."""
+        return GroupElement((self.value * (scalar % self.order)) % self.order, self.order)
+
+    def _check(self, other: "GroupElement") -> None:
+        if self.order != other.order:
+            raise CryptoError("group elements from different groups")
+
+    def __bool__(self) -> bool:
+        return self.value != 0
+
+    def encode(self) -> bytes:
+        """33-byte encoding, matching the size of a compressed BLS point."""
+        return self.value.to_bytes(33, "big")
+
+
+class MockGroup:
+    """The mock bilinear group: scalar field, hash-to-group and pairing."""
+
+    def __init__(self, order: int = BN254_ORDER):
+        if order < 3:
+            raise CryptoError("group order must be a prime > 2")
+        self.order = order
+        self.generator = GroupElement(1, order)
+
+    def element(self, value: int) -> GroupElement:
+        return GroupElement(value % self.order, self.order)
+
+    def hash_to_group(self, digest_int: int) -> GroupElement:
+        """Hash a digest (as an integer) onto the group."""
+        value = digest_int % self.order
+        if value == 0:
+            value = 1
+        return GroupElement(value, self.order)
+
+    def pairing(self, left: GroupElement, right: GroupElement) -> int:
+        """The mock bilinear pairing ``e(aG, bG) = ab mod q``."""
+        if left.order != self.order or right.order != self.order:
+            raise CryptoError("pairing arguments from a different group")
+        return (left.value * right.value) % self.order
+
+    def scalar(self, rng_value: int) -> int:
+        """Reduce an arbitrary integer to a non-zero scalar."""
+        value = rng_value % self.order
+        return value if value != 0 else 1
+
+    def lagrange_coefficient(self, index: int, indices: list[int]) -> int:
+        """Lagrange coefficient at zero for ``index`` over ``indices`` (1-based)."""
+        if index not in indices:
+            raise CryptoError("index not in interpolation set")
+        num, den = 1, 1
+        for j in indices:
+            if j == index:
+                continue
+            num = (num * (-j)) % self.order
+            den = (den * (index - j)) % self.order
+        return (num * pow(den, -1, self.order)) % self.order
+
+
+DEFAULT_GROUP = MockGroup()

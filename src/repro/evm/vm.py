@@ -1,0 +1,399 @@
+"""The mini-EVM interpreter.
+
+A classic fetch-decode-execute loop over the opcode subset defined in
+:mod:`repro.evm.opcodes`: a 256-bit word stack, byte-addressed memory, gas
+accounting, contract storage through :class:`~repro.evm.state.WorldState`, and
+nested ``CALL``s with bounded depth.  Execution is fully deterministic, which
+is what the replication layer requires ("the fact that EVM bytecode is
+deterministic ensures that the new state digest will be equal in all
+non-faulty replicas", Section IV).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.crypto.hashing import sha256_int
+from repro.errors import EVMError, OutOfGas
+from repro.evm.opcodes import OPCODES, Op
+from repro.evm.state import WorldState
+
+WORD = 2**256
+MAX_STACK = 1024
+MAX_CALL_DEPTH = 64
+MAX_STEPS = 100_000
+
+
+def _to_signed(value: int) -> int:
+    return value - WORD if value >= WORD // 2 else value
+
+
+@dataclass
+class Message:
+    """A call frame input: who calls what, with which data and gas."""
+
+    sender: str
+    to: str
+    value: int = 0
+    data: bytes = b""
+    gas: int = 1_000_000
+    origin: Optional[str] = None
+    depth: int = 0
+
+
+@dataclass
+class ExecutionResult:
+    """Outcome of running one message."""
+
+    success: bool
+    return_data: bytes = b""
+    gas_used: int = 0
+    error: Optional[str] = None
+    logs: List[tuple] = field(default_factory=list)
+
+
+@dataclass
+class BlockContext:
+    """Block-level environment values exposed to contracts."""
+
+    number: int = 0
+    timestamp: int = 0
+    coinbase: str = "0x" + "00" * 20
+    gas_limit: int = 10_000_000
+
+
+class _Frame:
+    """One execution frame (stack, memory, program counter, gas)."""
+
+    def __init__(self, code: bytes, message: Message):
+        self.code = code
+        self.message = message
+        self.stack: List[int] = []
+        self.memory = bytearray()
+        self.pc = 0
+        self.gas_remaining = message.gas
+        self.logs: List[tuple] = []
+
+    # -- stack ----------------------------------------------------------
+    def push(self, value: int) -> None:
+        if len(self.stack) >= MAX_STACK:
+            raise EVMError("stack overflow")
+        self.stack.append(value % WORD)
+
+    def pop(self) -> int:
+        if not self.stack:
+            raise EVMError("stack underflow")
+        return self.stack.pop()
+
+    # -- memory ---------------------------------------------------------
+    def _ensure_memory(self, offset: int, length: int) -> None:
+        end = offset + length
+        if end > len(self.memory):
+            self.memory.extend(b"\x00" * (end - len(self.memory)))
+
+    def mload(self, offset: int) -> int:
+        self._ensure_memory(offset, 32)
+        return int.from_bytes(self.memory[offset : offset + 32], "big")
+
+    def mstore(self, offset: int, value: int) -> None:
+        self._ensure_memory(offset, 32)
+        self.memory[offset : offset + 32] = (value % WORD).to_bytes(32, "big")
+
+    def mstore8(self, offset: int, value: int) -> None:
+        self._ensure_memory(offset, 1)
+        self.memory[offset] = value & 0xFF
+
+    def mslice(self, offset: int, length: int) -> bytes:
+        self._ensure_memory(offset, length)
+        return bytes(self.memory[offset : offset + length])
+
+    # -- gas ------------------------------------------------------------
+    def charge(self, amount: int) -> None:
+        if amount > self.gas_remaining:
+            raise OutOfGas(f"out of gas (needed {amount}, had {self.gas_remaining})")
+        self.gas_remaining -= amount
+
+
+class EVM:
+    """The interpreter.  One instance can execute many messages."""
+
+    def __init__(self, state: WorldState, block: Optional[BlockContext] = None):
+        self.state = state
+        self.block = block or BlockContext()
+
+    # ------------------------------------------------------------------
+    # Public entry points
+    # ------------------------------------------------------------------
+    def execute(self, message: Message, code: Optional[bytes] = None) -> ExecutionResult:
+        """Run ``code`` (or the callee's stored code) in the context of ``message``."""
+        if message.depth > MAX_CALL_DEPTH:
+            return ExecutionResult(success=False, error="call depth exceeded", gas_used=message.gas)
+        if message.origin is None:
+            message.origin = message.sender
+        run_code = code if code is not None else self.state.get_code(message.to)
+        if not run_code:
+            # Plain value transfer to an account with no code.
+            return ExecutionResult(success=True, gas_used=0)
+        frame = _Frame(run_code, message)
+        try:
+            result = self._run(frame)
+        except OutOfGas as exc:
+            return ExecutionResult(success=False, error=str(exc), gas_used=message.gas, logs=frame.logs)
+        except EVMError as exc:
+            gas_used = message.gas - frame.gas_remaining
+            return ExecutionResult(success=False, error=str(exc), gas_used=gas_used, logs=frame.logs)
+        return result
+
+    # ------------------------------------------------------------------
+    # Interpreter loop
+    # ------------------------------------------------------------------
+    def _run(self, frame: _Frame) -> ExecutionResult:
+        code = frame.code
+        msg = frame.message
+        steps = 0
+        while frame.pc < len(code):
+            steps += 1
+            if steps > MAX_STEPS:
+                raise EVMError("step limit exceeded")
+            byte = code[frame.pc]
+            info = OPCODES.get(byte)
+            if info is None:
+                raise EVMError(f"invalid opcode 0x{byte:02x} at pc {frame.pc}")
+            frame.charge(info.gas)
+            op = info.op
+            frame.pc += 1
+
+            # -- control flow ------------------------------------------
+            if op is Op.STOP:
+                return self._finish(frame, b"", True)
+            if op is Op.RETURN:
+                offset, length = frame.pop(), frame.pop()
+                return self._finish(frame, frame.mslice(offset, length), True)
+            if op is Op.REVERT:
+                offset, length = frame.pop(), frame.pop()
+                return self._finish(frame, frame.mslice(offset, length), False, error="revert")
+            if op is Op.JUMP:
+                frame.pc = self._jump_target(code, frame.pop())
+                continue
+            if op is Op.JUMPI:
+                target, condition = frame.pop(), frame.pop()
+                if condition:
+                    frame.pc = self._jump_target(code, target)
+                continue
+            if op is Op.JUMPDEST:
+                continue
+
+            # -- pushes / dups / swaps ----------------------------------
+            if info.immediate_bytes:
+                value = int.from_bytes(code[frame.pc : frame.pc + info.immediate_bytes], "big")
+                frame.pc += info.immediate_bytes
+                frame.push(value)
+                continue
+            if Op.DUP1 <= op <= Op.DUP6:
+                depth = op - Op.DUP1 + 1
+                if len(frame.stack) < depth:
+                    raise EVMError("stack underflow in DUP")
+                frame.push(frame.stack[-depth])
+                continue
+            if Op.SWAP1 <= op <= Op.SWAP4:
+                depth = op - Op.SWAP1 + 1
+                if len(frame.stack) < depth + 1:
+                    raise EVMError("stack underflow in SWAP")
+                frame.stack[-1], frame.stack[-1 - depth] = frame.stack[-1 - depth], frame.stack[-1]
+                continue
+
+            self._execute_simple(op, frame, msg)
+        return self._finish(frame, b"", True)
+
+    def _finish(
+        self, frame: _Frame, return_data: bytes, success: bool, error: Optional[str] = None
+    ) -> ExecutionResult:
+        return ExecutionResult(
+            success=success,
+            return_data=return_data,
+            gas_used=frame.message.gas - frame.gas_remaining,
+            error=error,
+            logs=list(frame.logs),
+        )
+
+    @staticmethod
+    def _jump_target(code: bytes, target: int) -> int:
+        if target >= len(code) or code[target] != int(Op.JUMPDEST):
+            raise EVMError(f"invalid jump target {target}")
+        return target
+
+    # ------------------------------------------------------------------
+    # Simple (non-control-flow) opcodes
+    # ------------------------------------------------------------------
+    def _execute_simple(self, op: Op, frame: _Frame, msg: Message) -> None:
+        pop = frame.pop
+        push = frame.push
+        if op is Op.ADD:
+            push(pop() + pop())
+        elif op is Op.MUL:
+            push(pop() * pop())
+        elif op is Op.SUB:
+            a, b = pop(), pop()
+            push(a - b)
+        elif op is Op.DIV:
+            a, b = pop(), pop()
+            push(0 if b == 0 else a // b)
+        elif op is Op.MOD:
+            a, b = pop(), pop()
+            push(0 if b == 0 else a % b)
+        elif op is Op.ADDMOD:
+            a, b, n = pop(), pop(), pop()
+            push(0 if n == 0 else (a + b) % n)
+        elif op is Op.MULMOD:
+            a, b, n = pop(), pop(), pop()
+            push(0 if n == 0 else (a * b) % n)
+        elif op is Op.EXP:
+            a, b = pop(), pop()
+            push(pow(a, b, WORD))
+        elif op is Op.LT:
+            a, b = pop(), pop()
+            push(1 if a < b else 0)
+        elif op is Op.GT:
+            a, b = pop(), pop()
+            push(1 if a > b else 0)
+        elif op is Op.SLT:
+            a, b = pop(), pop()
+            push(1 if _to_signed(a) < _to_signed(b) else 0)
+        elif op is Op.SGT:
+            a, b = pop(), pop()
+            push(1 if _to_signed(a) > _to_signed(b) else 0)
+        elif op is Op.EQ:
+            push(1 if pop() == pop() else 0)
+        elif op is Op.ISZERO:
+            push(1 if pop() == 0 else 0)
+        elif op is Op.AND:
+            push(pop() & pop())
+        elif op is Op.OR:
+            push(pop() | pop())
+        elif op is Op.XOR:
+            push(pop() ^ pop())
+        elif op is Op.NOT:
+            push(~pop() % WORD)
+        elif op is Op.BYTE:
+            index, value = pop(), pop()
+            push((value >> (8 * (31 - index))) & 0xFF if index < 32 else 0)
+        elif op is Op.SHL:
+            shift, value = pop(), pop()
+            push(0 if shift >= 256 else (value << shift) % WORD)
+        elif op is Op.SHR:
+            shift, value = pop(), pop()
+            push(0 if shift >= 256 else value >> shift)
+        elif op is Op.SHA3:
+            offset, length = pop(), pop()
+            push(sha256_int("evm-sha3", frame.mslice(offset, length)) % WORD)
+        elif op is Op.ADDRESS:
+            push(self._address_to_word(msg.to))
+        elif op is Op.BALANCE:
+            address = self._word_to_address(pop())
+            push(self.state.get_balance(address))
+        elif op is Op.ORIGIN:
+            push(self._address_to_word(msg.origin or msg.sender))
+        elif op is Op.CALLER:
+            push(self._address_to_word(msg.sender))
+        elif op is Op.CALLVALUE:
+            push(msg.value)
+        elif op is Op.CALLDATALOAD:
+            offset = pop()
+            data = msg.data[offset : offset + 32]
+            push(int.from_bytes(data.ljust(32, b"\x00"), "big"))
+        elif op is Op.CALLDATASIZE:
+            push(len(msg.data))
+        elif op is Op.CODESIZE:
+            push(len(frame.code))
+        elif op is Op.GASPRICE:
+            push(1)
+        elif op is Op.BLOCKHASH:
+            push(sha256_int("blockhash", pop()) % WORD)
+        elif op is Op.COINBASE:
+            push(self._address_to_word(self.block.coinbase))
+        elif op is Op.TIMESTAMP:
+            push(self.block.timestamp)
+        elif op is Op.NUMBER:
+            push(self.block.number)
+        elif op is Op.GASLIMIT:
+            push(self.block.gas_limit)
+        elif op is Op.POP:
+            pop()
+        elif op is Op.MLOAD:
+            push(frame.mload(pop()))
+        elif op is Op.MSTORE:
+            offset, value = pop(), pop()
+            frame.mstore(offset, value)
+        elif op is Op.MSTORE8:
+            offset, value = pop(), pop()
+            frame.mstore8(offset, value)
+        elif op is Op.SLOAD:
+            push(self.state.storage_load(msg.to, pop()))
+        elif op is Op.SSTORE:
+            slot, value = pop(), pop()
+            self.state.storage_store(msg.to, slot, value)
+        elif op is Op.PC:
+            push(frame.pc - 1)
+        elif op is Op.MSIZE:
+            push(len(frame.memory))
+        elif op is Op.GAS:
+            push(frame.gas_remaining)
+        elif op is Op.LOG0:
+            offset, length = pop(), pop()
+            frame.logs.append((msg.to, (), frame.mslice(offset, length)))
+        elif op is Op.LOG1:
+            offset, length, topic = pop(), pop(), pop()
+            frame.logs.append((msg.to, (topic,), frame.mslice(offset, length)))
+        elif op is Op.CALL:
+            self._do_call(frame, msg)
+        elif op is Op.SELFDESTRUCT:
+            beneficiary = self._word_to_address(pop())
+            balance = self.state.get_balance(msg.to)
+            self.state.sub_balance(msg.to, balance)
+            self.state.add_balance(beneficiary, balance)
+            self.state.set_code(msg.to, b"")
+            frame.pc = len(frame.code)
+        else:  # pragma: no cover - table and handlers are kept in sync
+            raise EVMError(f"unhandled opcode {op.name}")
+
+    def _do_call(self, frame: _Frame, msg: Message) -> None:
+        gas = frame.pop()
+        to_word = frame.pop()
+        value = frame.pop()
+        in_offset, in_length = frame.pop(), frame.pop()
+        out_offset, out_length = frame.pop(), frame.pop()
+        to = self._word_to_address(to_word)
+        data = frame.mslice(in_offset, in_length)
+        if value:
+            self.state.sub_balance(msg.to, value)
+            self.state.add_balance(to, value)
+        child = Message(
+            sender=msg.to,
+            to=to,
+            value=value,
+            data=data,
+            gas=min(gas, frame.gas_remaining),
+            origin=msg.origin,
+            depth=msg.depth + 1,
+        )
+        result = self.execute(child)
+        frame.charge(result.gas_used)
+        frame.logs.extend(result.logs)
+        if out_length and result.return_data:
+            frame._ensure_memory(out_offset, out_length)
+            frame.memory[out_offset : out_offset + out_length] = result.return_data[:out_length].ljust(
+                out_length, b"\x00"
+            )
+        frame.push(1 if result.success else 0)
+
+    # ------------------------------------------------------------------
+    # Address helpers
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _address_to_word(address: str) -> int:
+        return int(address, 16) if address else 0
+
+    @staticmethod
+    def _word_to_address(word: int) -> str:
+        return "0x" + format(word, "x").rjust(40, "0")[-40:]

@@ -1,0 +1,17 @@
+"""Experiment drivers — one module per figure/table of the paper (Section IX).
+
+* :mod:`repro.experiments.harness` — shared run/sweep helpers.
+* :mod:`repro.experiments.fig2_throughput` — Figure 2 (throughput vs clients).
+* :mod:`repro.experiments.fig3_latency` — Figure 3 (latency vs throughput).
+* :mod:`repro.experiments.smart_contracts` — the smart-contract benchmark
+  (continent / world WAN tables plus the unreplicated baseline).
+* :mod:`repro.experiments.ablation` — per-ingredient contribution.
+* :mod:`repro.experiments.viewchange_study` — view-change robustness study.
+
+Every driver accepts a ``scale`` knob so the same code runs both the
+quick CI-sized configuration and larger paper-sized configurations.
+"""
+
+from repro.experiments.harness import ExperimentScale, run_kv_point, format_table
+
+__all__ = ["ExperimentScale", "run_kv_point", "format_table"]

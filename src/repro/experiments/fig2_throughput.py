@@ -1,0 +1,84 @@
+"""Figure 2 — throughput vs number of clients.
+
+The paper's Figure 2 is a 2x3 grid: rows are the batching modes (batch=64 and
+no batching), columns are the failure scenarios (no failures, 8 crashed
+backups, 64 crashed backups), and each panel plots throughput against the
+number of clients (4..256) for the five protocol variants.
+
+:func:`run_figure2` reproduces the same grid at a configurable scale and
+returns one row per (mode, failures, protocol, clients) point; Figure 3 reuses
+the identical sweep, so the latency columns are carried along.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from repro.experiments.harness import ExperimentScale, SMALL_SCALE, result_row, run_kv_point
+from repro.protocols.registry import PAPER_ORDER
+
+#: The paper's batching modes: each client request carries 64 operations, or one.
+PAPER_BATCH_MODES = {"batch=64": 64, "no batch": 1}
+
+#: The paper's failure columns (scaled via ``failure_fractions`` below).
+PAPER_FAILURES = (0, 8, 64)
+
+
+def scaled_failures(scale: ExperimentScale, paper_failures: Sequence[int] = PAPER_FAILURES) -> List[int]:
+    """Map the paper's failure counts (0, 8, 64 out of f=64) onto a scale.
+
+    The ratios are preserved: 0 failures, f/8 failures and f failures.
+    """
+    return sorted({0, max(1, scale.f // 8) if scale.f >= 2 else 1, scale.f})
+
+
+def run_figure2(
+    scale: ExperimentScale = SMALL_SCALE,
+    protocols: Optional[Iterable[str]] = None,
+    batch_modes: Optional[Dict[str, int]] = None,
+    failures: Optional[Sequence[int]] = None,
+    client_counts: Optional[Sequence[int]] = None,
+    topology: str = "continent",
+    seed: int = 0,
+) -> List[Dict]:
+    """Run the Figure 2 sweep and return one result row per point."""
+    protocols = list(protocols) if protocols is not None else list(PAPER_ORDER)
+    batch_modes = dict(batch_modes) if batch_modes is not None else dict(PAPER_BATCH_MODES)
+    failures = list(failures) if failures is not None else scaled_failures(scale)
+    client_counts = list(client_counts) if client_counts is not None else list(scale.client_counts)
+
+    rows: List[Dict] = []
+    for mode_name, kv_batch in batch_modes.items():
+        for failure_count in failures:
+            for protocol in protocols:
+                for num_clients in client_counts:
+                    result = run_kv_point(
+                        protocol,
+                        scale,
+                        num_clients=num_clients,
+                        kv_batch=kv_batch,
+                        failures=failure_count,
+                        topology=topology,
+                        seed=seed,
+                        label=f"{protocol}/{mode_name}/fail={failure_count}/clients={num_clients}",
+                    )
+                    rows.append(
+                        result_row(
+                            result,
+                            protocol=protocol,
+                            mode=mode_name,
+                            failures=failure_count,
+                            clients=num_clients,
+                        )
+                    )
+    return rows
+
+
+def throughput_series(rows: List[Dict], mode: str, failures: int) -> Dict[str, List[float]]:
+    """Extract Figure 2's per-protocol throughput series for one panel."""
+    series: Dict[str, List[float]] = {}
+    for row in rows:
+        if row["mode"] != mode or row["failures"] != failures:
+            continue
+        series.setdefault(row["protocol"], []).append(row["throughput_ops"])
+    return series

@@ -1,0 +1,45 @@
+"""Figure 3 — latency vs throughput.
+
+Figure 3 plots the same runs as Figure 2 with the axes swapped: each protocol
+traces a (throughput, latency) curve as the number of clients grows.  The
+sweep is shared with :mod:`repro.experiments.fig2_throughput`; this module
+only reshapes the rows into per-protocol curves.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.experiments.fig2_throughput import run_figure2
+from repro.experiments.harness import ExperimentScale, SMALL_SCALE
+
+
+def run_figure3(
+    scale: ExperimentScale = SMALL_SCALE,
+    rows: Optional[List[Dict]] = None,
+    **kwargs,
+) -> List[Dict]:
+    """Run (or reuse) the Figure 2 sweep and return the same rows.
+
+    Accepts pre-computed ``rows`` so that a single sweep feeds both figures,
+    exactly like the paper's evaluation.
+    """
+    if rows is None:
+        rows = run_figure2(scale=scale, **kwargs)
+    return rows
+
+
+def latency_curves(
+    rows: List[Dict], mode: str, failures: int
+) -> Dict[str, List[Tuple[float, float]]]:
+    """Per-protocol (throughput, mean latency ms) curves for one panel."""
+    curves: Dict[str, List[Tuple[float, float]]] = {}
+    for row in rows:
+        if row["mode"] != mode or row["failures"] != failures:
+            continue
+        curves.setdefault(row["protocol"], []).append(
+            (row["throughput_ops"], row["mean_latency_ms"])
+        )
+    for protocol in curves:
+        curves[protocol].sort()
+    return curves

@@ -1,0 +1,138 @@
+"""Shared machinery for the experiment drivers.
+
+The paper's deployment (f=64, 209 replicas, 256 clients, 1000 requests each)
+is far beyond what a pure-Python discrete-event simulation can sweep in
+minutes, so every experiment is parameterised by an :class:`ExperimentScale`:
+the default "small" scale keeps the same *structure* (same protocols, same
+client sweep shape, same failure scenarios) at f=4; the "medium" and "paper"
+scales raise f towards the paper's value for overnight runs.  EXPERIMENTS.md
+records which scale produced the recorded numbers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from repro.metrics.collector import RunResult
+from repro.protocols.cluster import ClusterResult, build_cluster
+from repro.sim.faults import FaultPlan
+from repro.workloads.kv_workload import KVWorkload
+
+
+@dataclass(frozen=True)
+class ExperimentScale:
+    """How big to run an experiment."""
+
+    name: str
+    f: int
+    c_for_sbft_c8: int
+    client_counts: Sequence[int]
+    requests_per_client: int
+    block_batch: int            # client requests per decision block
+    max_sim_time: float
+
+    @property
+    def n_c0(self) -> int:
+        return 3 * self.f + 1
+
+    @property
+    def n_c8(self) -> int:
+        return 3 * self.f + 2 * self.c_for_sbft_c8 + 1
+
+
+SMALL_SCALE = ExperimentScale(
+    name="small",
+    f=2,
+    c_for_sbft_c8=1,
+    client_counts=(4, 16, 32),
+    requests_per_client=4,
+    block_batch=8,
+    max_sim_time=240.0,
+)
+
+MEDIUM_SCALE = ExperimentScale(
+    name="medium",
+    f=8,
+    c_for_sbft_c8=2,
+    client_counts=(4, 32, 64, 128),
+    requests_per_client=4,
+    block_batch=16,
+    max_sim_time=600.0,
+)
+
+PAPER_SCALE = ExperimentScale(
+    name="paper",
+    f=64,
+    c_for_sbft_c8=8,
+    client_counts=(4, 32, 64, 128, 192, 256),
+    requests_per_client=16,
+    block_batch=16,
+    max_sim_time=3600.0,
+)
+
+SCALES: Dict[str, ExperimentScale] = {
+    "small": SMALL_SCALE,
+    "medium": MEDIUM_SCALE,
+    "paper": PAPER_SCALE,
+}
+
+
+def run_kv_point(
+    protocol: str,
+    scale: ExperimentScale,
+    num_clients: int,
+    kv_batch: int,
+    failures: int = 0,
+    topology: str = "continent",
+    seed: int = 0,
+    label: Optional[str] = None,
+) -> ClusterResult:
+    """Run one (protocol, #clients, #failures) point of the KV benchmark."""
+    c = scale.c_for_sbft_c8 if protocol == "sbft-c8" else None
+    n = scale.n_c8 if protocol == "sbft-c8" else scale.n_c0
+    fault_plan = FaultPlan.crash_backups(failures, n) if failures else None
+    cluster = build_cluster(
+        protocol,
+        f=scale.f,
+        c=c,
+        num_clients=num_clients,
+        topology=topology,
+        batch_size=scale.block_batch,
+        seed=seed,
+        fault_plan=fault_plan,
+    )
+    workload = KVWorkload(
+        requests_per_client=scale.requests_per_client,
+        batch_size=kv_batch,
+        seed=seed + 1,
+    )
+    return cluster.run(workload, max_sim_time=scale.max_sim_time, label=label or protocol)
+
+
+def format_table(rows: Iterable[Dict], columns: Optional[Sequence[str]] = None) -> str:
+    """Render result rows as an aligned text table (for examples and logs)."""
+    rows = [dict(row) for row in rows]
+    if not rows:
+        return "(no rows)"
+    if columns is None:
+        # Union of keys across rows, in order of first appearance.
+        columns = []
+        for row in rows:
+            for key in row:
+                if key not in columns:
+                    columns.append(key)
+    widths = {col: max(len(str(col)), max(len(str(row.get(col, ""))) for row in rows)) for col in columns}
+    header = "  ".join(str(col).ljust(widths[col]) for col in columns)
+    separator = "  ".join("-" * widths[col] for col in columns)
+    lines = [header, separator]
+    for row in rows:
+        lines.append("  ".join(str(row.get(col, "")).ljust(widths[col]) for col in columns))
+    return "\n".join(lines)
+
+
+def result_row(result: ClusterResult, **extra) -> Dict:
+    """Flatten a cluster result into a table row."""
+    row = result.run.as_row()
+    row.update(extra)
+    return row

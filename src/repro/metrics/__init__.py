@@ -1,0 +1,5 @@
+"""Measurement utilities: throughput, latency distributions, traffic stats."""
+
+from repro.metrics.collector import LatencyRecorder, RunResult
+
+__all__ = ["LatencyRecorder", "RunResult"]

@@ -1,0 +1,112 @@
+"""Latency/throughput measurement for experiment runs.
+
+The paper reports throughput (operations or transactions per second) and
+latency (average / median, milliseconds).  :class:`LatencyRecorder` collects
+per-request samples during a simulated run; :class:`RunResult` is the summary
+the cluster harness and the benchmark tables consume.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+
+class LatencyRecorder:
+    """Accumulates request completion samples during a run."""
+
+    def __init__(self):
+        self._samples: List[float] = []
+        self._operations = 0
+        self.first_completion: Optional[float] = None
+        self.last_completion: Optional[float] = None
+
+    def record(self, issued_at: float, completed_at: float, operations: int = 1) -> None:
+        """Record one completed request carrying ``operations`` operations."""
+        self._samples.append(completed_at - issued_at)
+        self._operations += operations
+        if self.first_completion is None:
+            self.first_completion = completed_at
+        self.last_completion = completed_at
+
+    @property
+    def samples(self) -> List[float]:
+        return list(self._samples)
+
+    @property
+    def completed_requests(self) -> int:
+        return len(self._samples)
+
+    @property
+    def completed_operations(self) -> int:
+        return self._operations
+
+    def percentile(self, fraction: float) -> float:
+        if not self._samples:
+            return 0.0
+        ordered = sorted(self._samples)
+        index = min(len(ordered) - 1, max(0, math.ceil(fraction * len(ordered)) - 1))
+        return ordered[index]
+
+    def summary(self, duration: float, label: str = "") -> "RunResult":
+        """Summarize into a :class:`RunResult` over ``duration`` seconds."""
+        mean = sum(self._samples) / len(self._samples) if self._samples else 0.0
+        return RunResult(
+            label=label,
+            duration=duration,
+            completed_requests=self.completed_requests,
+            completed_operations=self._operations,
+            throughput=self._operations / duration if duration > 0 else 0.0,
+            mean_latency=mean,
+            median_latency=self.percentile(0.5),
+            p99_latency=self.percentile(0.99),
+        )
+
+
+@dataclass
+class RunResult:
+    """Summary of one experiment run."""
+
+    label: str = ""
+    duration: float = 0.0
+    completed_requests: int = 0
+    completed_operations: int = 0
+    throughput: float = 0.0          # operations per second
+    mean_latency: float = 0.0        # seconds
+    median_latency: float = 0.0      # seconds
+    p99_latency: float = 0.0         # seconds
+    messages_sent: int = 0
+    bytes_sent: int = 0
+    extra: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def mean_latency_ms(self) -> float:
+        return self.mean_latency * 1000.0
+
+    @property
+    def median_latency_ms(self) -> float:
+        return self.median_latency * 1000.0
+
+    def as_row(self) -> Dict[str, float]:
+        """Flat dictionary used by the benchmark tables."""
+        row = {
+            "label": self.label,
+            "throughput_ops": round(self.throughput, 2),
+            "mean_latency_ms": round(self.mean_latency_ms, 2),
+            "median_latency_ms": round(self.median_latency_ms, 2),
+            "p99_latency_ms": round(self.p99_latency * 1000.0, 2),
+            "completed_operations": self.completed_operations,
+            "messages_sent": self.messages_sent,
+            "bytes_sent": self.bytes_sent,
+        }
+        row.update(self.extra)
+        return row
+
+    def __str__(self) -> str:
+        return (
+            f"{self.label or 'run'}: {self.throughput:.1f} ops/s, "
+            f"mean latency {self.mean_latency_ms:.1f} ms, "
+            f"median {self.median_latency_ms:.1f} ms "
+            f"({self.completed_operations} ops in {self.duration:.1f}s)"
+        )

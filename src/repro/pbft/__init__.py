@@ -1,0 +1,17 @@
+"""Scale-optimized PBFT — the baseline the paper compares SBFT against.
+
+This is the classic Castro–Liskov protocol with the engineering choices the
+paper attributes to its baseline (Section IX): public-key signed messages
+(following Clement et al.), request batching, a sliding window, periodic
+checkpoints and all-to-all prepare/commit phases.  Clients wait for ``f + 1``
+matching signed replies.
+
+The client is shared with SBFT (:class:`repro.core.client.SBFTClient`): PBFT
+replicas always answer with signed :class:`~repro.core.messages.ClientReply`
+messages, which is exactly the client's f+1 fallback acceptance path.
+"""
+
+from repro.pbft.replica import PBFTReplica
+from repro.pbft.messages import PbftPrepare, PbftCommit, PbftCheckpoint
+
+__all__ = ["PBFTReplica", "PbftPrepare", "PbftCommit", "PbftCheckpoint"]

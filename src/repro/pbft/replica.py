@@ -1,0 +1,575 @@
+"""Scale-optimized PBFT replica.
+
+Implements the three-phase Castro–Liskov protocol with all-to-all prepare and
+commit phases and signed messages:
+
+1. The primary batches client requests and broadcasts a pre-prepare.
+2. Every replica broadcasts a signed prepare; a slot is *prepared* once the
+   replica holds the pre-prepare and ``2f`` matching prepares from others.
+3. Every replica then broadcasts a signed commit; a slot is *committed-local*
+   once it holds ``2f + 1`` matching commits, after which it executes blocks
+   in order and sends a signed reply to each client (clients wait for ``f+1``).
+
+Checkpoints every ``window/2`` sequences bound the log.  A simplified view
+change (prepared-certificate carry-over, no per-message proofs) is included so
+fault-injection tests can exercise primary failure; the paper's evaluation
+never fails the PBFT primary, so this simplification does not affect the
+benchmark comparisons.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.core.config import SBFTConfig
+from repro.core.messages import ClientReply, ClientRequest, PrePrepare
+from repro.crypto.costs import CryptoCosts, DEFAULT_COSTS
+from repro.crypto.hashing import block_digest, sha256_hex
+from repro.crypto.signatures import SigningKey, VerifyKey
+from repro.pbft.messages import (
+    PbftCheckpoint,
+    PbftCommit,
+    PbftNewView,
+    PbftPrepare,
+    PbftViewChange,
+)
+from repro.services.interface import Operation, ReplicatedService
+from repro.sim.events import Simulator
+from repro.sim.network import Network
+from repro.sim.process import Process
+
+
+class _PbftSlot:
+    """Per-sequence bookkeeping."""
+
+    __slots__ = (
+        "sequence",
+        "pre_prepare",
+        "view",
+        "digest",
+        "prepares",
+        "commits",
+        "prepare_sent",
+        "commit_sent",
+        "committed",
+        "executed",
+        "execution_results",
+        "state_digest",
+    )
+
+    def __init__(self, sequence: int):
+        self.sequence = sequence
+        self.pre_prepare: Optional[PrePrepare] = None
+        self.view = -1
+        self.digest: Optional[str] = None
+        self.prepares: Dict[int, str] = {}
+        self.commits: Dict[int, str] = {}
+        self.prepare_sent = False
+        self.commit_sent = False
+        self.committed = False
+        self.executed = False
+        self.execution_results: List[Any] = []
+        self.state_digest: Optional[str] = None
+
+
+class PBFTReplica(Process):
+    """One PBFT replica (the paper's scale-optimized baseline)."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        network: Network,
+        node_id: int,
+        config: SBFTConfig,
+        signing_key: SigningKey,
+        verify_keys: Dict[int, VerifyKey],
+        service: ReplicatedService,
+        costs: CryptoCosts = DEFAULT_COSTS,
+        client_directory: Optional[Dict[int, int]] = None,
+    ):
+        super().__init__(sim, node_id, name=f"pbft-replica-{node_id}")
+        self.network = network
+        self.config = config
+        self.signing_key = signing_key
+        self.verify_keys = verify_keys
+        self.service = service
+        self.costs = costs
+        self.client_directory = client_directory if client_directory is not None else {}
+
+        self.view = 0
+        self.last_executed = 0
+        self.last_stable = 0
+        self.next_sequence = 1
+        self._slots: Dict[int, _PbftSlot] = {}
+
+        self._pending_requests: List[ClientRequest] = []
+        self._pending_request_ids: set = set()
+        self._batch_timer: Optional[int] = None
+        self._executing = False
+        self._last_reply: Dict[int, Tuple[int, Tuple[Any, ...]]] = {}
+        self._direct_reply_waiting: Dict[Tuple[int, int], int] = {}
+
+        self._checkpoints: Dict[int, Dict[int, str]] = {}
+
+        self._view_change_timer: Optional[int] = None
+        self._request_first_seen: Dict[Tuple[int, int], float] = {}
+        self._view_changes: Dict[int, Dict[int, PbftViewChange]] = {}
+        self._view_change_sent_for: set = set()
+        self._new_view_sent_for: set = set()
+
+        self.byzantine_mode: Optional[str] = None
+        self.stats = {
+            "blocks_proposed": 0,
+            "blocks_committed": 0,
+            "blocks_executed": 0,
+            "view_changes": 0,
+        }
+
+    # ------------------------------------------------------------------
+    # Helpers
+    # ------------------------------------------------------------------
+    @property
+    def n(self) -> int:
+        return self.config.n
+
+    @property
+    def quorum(self) -> int:
+        """2f + 2c + 1 — with c = 0 this is the classic 2f + 1."""
+        return 2 * self.config.f + 2 * self.config.c + 1
+
+    @property
+    def primary(self) -> int:
+        return self.view % self.n
+
+    @property
+    def is_primary(self) -> bool:
+        return self.primary == self.node_id
+
+    def activate_byzantine(self, mode: str) -> None:
+        self.byzantine_mode = mode
+
+    def _slot(self, sequence: int) -> _PbftSlot:
+        if sequence not in self._slots:
+            self._slots[sequence] = _PbftSlot(sequence)
+        return self._slots[sequence]
+
+    def _send(self, dst: int, message: Any) -> None:
+        if self.crashed or self.byzantine_mode == "silent":
+            return
+        self.network.send(self.node_id, dst, message)
+
+    def _broadcast(self, message: Any) -> None:
+        if self.crashed or self.byzantine_mode == "silent":
+            return
+        for dst in range(self.n):
+            self.network.send(self.node_id, dst, message)
+
+    def _send_to_client(self, client_id: int, message: Any) -> None:
+        node = self.client_directory.get(client_id)
+        if node is not None:
+            self._send(node, message)
+
+    # ------------------------------------------------------------------
+    # Dispatch with cost accounting
+    # ------------------------------------------------------------------
+    def on_message(self, message: Any, src: int) -> None:
+        self.compute(self._message_cost(message), self._dispatch, message, src)
+
+    def _message_cost(self, message: Any) -> float:
+        costs = self.costs
+        if isinstance(message, ClientRequest):
+            return costs.rsa_verify
+        if isinstance(message, PrePrepare):
+            return costs.rsa_verify * (1 + len(message.requests)) + costs.hash_op
+        if isinstance(message, (PbftPrepare, PbftCommit, PbftCheckpoint)):
+            return costs.rsa_verify
+        if isinstance(message, (PbftViewChange, PbftNewView)):
+            return costs.rsa_verify
+        return costs.hash_op
+
+    def _dispatch(self, message: Any, src: int) -> None:
+        if isinstance(message, ClientRequest):
+            self._on_client_request(message, src)
+        elif isinstance(message, PrePrepare):
+            self._on_pre_prepare(message, src)
+        elif isinstance(message, PbftPrepare):
+            self._on_prepare(message, src)
+        elif isinstance(message, PbftCommit):
+            self._on_commit(message, src)
+        elif isinstance(message, PbftCheckpoint):
+            self._on_checkpoint(message, src)
+        elif isinstance(message, PbftViewChange):
+            self._on_view_change(message, src)
+        elif isinstance(message, PbftNewView):
+            self._on_new_view(message, src)
+
+    # ------------------------------------------------------------------
+    # Client requests and batching (mirrors the SBFT primary)
+    # ------------------------------------------------------------------
+    def _on_client_request(self, request: ClientRequest, src: int) -> None:
+        request_id = request.request_id
+        last = self._last_reply.get(request.client_id)
+        if last is not None and last[0] >= request.timestamp:
+            self._send_reply(request.client_id)
+            return
+        self._request_first_seen.setdefault(request_id, self.sim.now)
+        if not self.is_primary:
+            self._direct_reply_waiting[request_id] = request.client_id
+            self._send(self.primary, request)
+            self._ensure_view_change_timer()
+            return
+        if request_id in self._pending_request_ids:
+            return
+        self._pending_request_ids.add(request_id)
+        self._pending_requests.append(request)
+        self._maybe_propose()
+
+    def _maybe_propose(self) -> None:
+        if not self.is_primary or not self._pending_requests:
+            return
+        if len(self._pending_requests) >= self.config.batch_size:
+            self._propose()
+        elif self._batch_timer is None:
+            self._batch_timer = self.set_timer(self.config.batch_timeout, self._on_batch_timeout)
+
+    def _on_batch_timeout(self) -> None:
+        self._batch_timer = None
+        if self.is_primary and self._pending_requests:
+            self._propose()
+
+    def _can_propose(self) -> bool:
+        return (
+            self.next_sequence - 1 - self.last_executed < self.config.active_window
+            and self.next_sequence <= self.last_stable + self.config.window
+        )
+
+    def _propose(self) -> None:
+        if not self._can_propose():
+            return
+        if self._batch_timer is not None:
+            self.cancel_timer(self._batch_timer)
+            self._batch_timer = None
+        batch = tuple(self._pending_requests[: self.config.batch_size])
+        self._pending_requests = self._pending_requests[self.config.batch_size :]
+        for request in batch:
+            self._pending_request_ids.discard(request.request_id)
+
+        sequence = self.next_sequence
+        self.next_sequence += 1
+        digest = block_digest(sequence, self.view, [r.request_id for r in batch])
+        self.charge_cpu(self.costs.hash_op + self.costs.rsa_sign)
+        signature = self.signing_key.sign(("pre-prepare", sequence, self.view, digest))
+        self.stats["blocks_proposed"] += 1
+        self._broadcast(
+            PrePrepare(
+                sequence=sequence, view=self.view, requests=batch, digest=digest, primary_signature=signature
+            )
+        )
+        if self._pending_requests:
+            self._maybe_propose()
+
+    # ------------------------------------------------------------------
+    # Three-phase agreement
+    # ------------------------------------------------------------------
+    def _on_pre_prepare(self, message: PrePrepare, src: int) -> None:
+        if message.view != self.view or src != self.primary:
+            return
+        if not (self.last_stable < message.sequence <= self.last_stable + self.config.window):
+            return
+        slot = self._slot(message.sequence)
+        if slot.pre_prepare is not None and slot.view == message.view:
+            return
+        expected = block_digest(message.sequence, message.view, [r.request_id for r in message.requests])
+        if expected != message.digest:
+            return
+        slot.pre_prepare = message
+        slot.view = message.view
+        slot.digest = message.digest
+        for request in message.requests:
+            self._request_first_seen.setdefault(request.request_id, self.sim.now)
+        self._ensure_view_change_timer()
+        self._send_prepare(slot)
+        self._check_prepared(slot)
+
+    def _send_prepare(self, slot: _PbftSlot) -> None:
+        if slot.prepare_sent or slot.digest is None:
+            return
+        slot.prepare_sent = True
+        self.charge_cpu(self.costs.rsa_sign)
+        signature = self.signing_key.sign(("prepare", slot.sequence, self.view, slot.digest))
+        self._broadcast(
+            PbftPrepare(
+                sequence=slot.sequence,
+                view=self.view,
+                digest=slot.digest,
+                replica_id=self.node_id,
+                signature=signature,
+            )
+        )
+
+    def _on_prepare(self, message: PbftPrepare, src: int) -> None:
+        if message.view != self.view:
+            return
+        key = self.verify_keys.get(message.replica_id)
+        if key is None or not key.verify(
+            ("prepare", message.sequence, message.view, message.digest), message.signature
+        ):
+            return
+        slot = self._slot(message.sequence)
+        slot.prepares[message.replica_id] = message.digest
+        self._check_prepared(slot)
+
+    def _check_prepared(self, slot: _PbftSlot) -> None:
+        if slot.commit_sent or slot.digest is None or slot.pre_prepare is None:
+            return
+        matching = sum(1 for digest in slot.prepares.values() if digest == slot.digest)
+        # Prepared: pre-prepare + 2f (+2c) prepares from distinct replicas.
+        if matching >= self.quorum - 1:
+            slot.commit_sent = True
+            self.charge_cpu(self.costs.rsa_sign)
+            signature = self.signing_key.sign(("commit", slot.sequence, self.view, slot.digest))
+            self._broadcast(
+                PbftCommit(
+                    sequence=slot.sequence,
+                    view=self.view,
+                    digest=slot.digest,
+                    replica_id=self.node_id,
+                    signature=signature,
+                )
+            )
+
+    def _on_commit(self, message: PbftCommit, src: int) -> None:
+        if message.view != self.view:
+            return
+        key = self.verify_keys.get(message.replica_id)
+        if key is None or not key.verify(
+            ("commit", message.sequence, message.view, message.digest), message.signature
+        ):
+            return
+        slot = self._slot(message.sequence)
+        slot.commits[message.replica_id] = message.digest
+        self._check_committed(slot)
+
+    def _check_committed(self, slot: _PbftSlot) -> None:
+        if slot.committed or slot.digest is None:
+            return
+        matching = sum(1 for digest in slot.commits.values() if digest == slot.digest)
+        if matching >= self.quorum and slot.pre_prepare is not None:
+            slot.committed = True
+            self.stats["blocks_committed"] += 1
+            self._try_execute()
+
+    # ------------------------------------------------------------------
+    # Execution and replies
+    # ------------------------------------------------------------------
+    def _try_execute(self) -> None:
+        if self._executing or self.crashed:
+            return
+        slot = self._slots.get(self.last_executed + 1)
+        if slot is None or not slot.committed or slot.executed or slot.pre_prepare is None:
+            return
+        operations = self._flatten(slot.pre_prepare.requests)
+        cost = sum(self.service.execution_cost(op) for op in operations)
+        cost += self.costs.hash_op * max(1, len(operations))
+        self._executing = True
+        self.compute(cost, self._finish_execution, slot.sequence)
+
+    @staticmethod
+    def _flatten(requests: Tuple[ClientRequest, ...]) -> List[Operation]:
+        operations: List[Operation] = []
+        for request in requests:
+            operations.extend(request.operations)
+        return operations
+
+    def _finish_execution(self, sequence: int) -> None:
+        self._executing = False
+        slot = self._slots.get(sequence)
+        if slot is None or slot.executed or not slot.committed or sequence != self.last_executed + 1:
+            self._try_execute()
+            return
+        operations = self._flatten(slot.pre_prepare.requests)
+        slot.execution_results = self.service.execute_block(sequence, operations)
+        slot.executed = True
+        self.last_executed = sequence
+        self.stats["blocks_executed"] += 1
+        slot.state_digest = (
+            self.service.digest() if hasattr(self.service, "digest") else sha256_hex("state", sequence)
+        )
+
+        position = 0
+        for request in slot.pre_prepare.requests:
+            count = len(request.operations)
+            values = tuple(result.value for result in slot.execution_results[position : position + count])
+            self._last_reply[request.client_id] = (request.timestamp, values)
+            self.charge_cpu(self.costs.rsa_sign)
+            signature = self.signing_key.sign(("reply", request.client_id, request.timestamp, values))
+            self._send_to_client(
+                request.client_id,
+                ClientReply(
+                    sequence=sequence,
+                    client_id=request.client_id,
+                    timestamp=request.timestamp,
+                    values=values,
+                    replica_id=self.node_id,
+                    signature=signature,
+                ),
+            )
+            self._request_first_seen.pop(request.request_id, None)
+            self._direct_reply_waiting.pop(request.request_id, None)
+            position += count
+
+        if not self._request_first_seen and self._view_change_timer is not None:
+            self.cancel_timer(self._view_change_timer)
+            self._view_change_timer = None
+
+        if sequence % self.config.checkpoint_every == 0:
+            self.charge_cpu(self.costs.rsa_sign)
+            signature = self.signing_key.sign(("checkpoint", sequence, slot.state_digest))
+            self._broadcast(
+                PbftCheckpoint(
+                    sequence=sequence,
+                    state_digest=slot.state_digest,
+                    replica_id=self.node_id,
+                    signature=signature,
+                )
+            )
+
+        if self.is_primary:
+            self._maybe_propose()
+        self._try_execute()
+
+    def _send_reply(self, client_id: int) -> None:
+        last = self._last_reply.get(client_id)
+        if last is None:
+            return
+        timestamp, values = last
+        self.charge_cpu(self.costs.rsa_sign)
+        signature = self.signing_key.sign(("reply", client_id, timestamp, values))
+        self._send_to_client(
+            client_id,
+            ClientReply(
+                sequence=self.last_executed,
+                client_id=client_id,
+                timestamp=timestamp,
+                values=values,
+                replica_id=self.node_id,
+                signature=signature,
+            ),
+        )
+
+    # ------------------------------------------------------------------
+    # Checkpoints
+    # ------------------------------------------------------------------
+    def _on_checkpoint(self, message: PbftCheckpoint, src: int) -> None:
+        key = self.verify_keys.get(message.replica_id)
+        if key is None or not key.verify(
+            ("checkpoint", message.sequence, message.state_digest), message.signature
+        ):
+            return
+        votes = self._checkpoints.setdefault(message.sequence, {})
+        votes[message.replica_id] = message.state_digest
+        if len(votes) >= self.quorum and message.sequence > self.last_stable:
+            self.last_stable = message.sequence
+            collect_up_to = min(self.last_stable, self.last_executed) - self.config.window
+            stale = [s for s in self._slots if s <= collect_up_to]
+            for sequence in stale:
+                del self._slots[sequence]
+            stale_votes = [s for s in self._checkpoints if s <= collect_up_to]
+            for sequence in stale_votes:
+                del self._checkpoints[sequence]
+
+    # ------------------------------------------------------------------
+    # Simplified view change
+    # ------------------------------------------------------------------
+    def _ensure_view_change_timer(self) -> None:
+        if self._view_change_timer is None and not self.crashed:
+            self._view_change_timer = self.set_timer(
+                self.config.view_change_timeout, self._on_view_change_timeout
+            )
+
+    def _on_view_change_timeout(self) -> None:
+        self._view_change_timer = None
+        if not self._request_first_seen:
+            return
+        oldest = min(self._request_first_seen.values())
+        if self.sim.now - oldest < self.config.view_change_timeout:
+            self._ensure_view_change_timer()
+            return
+        self._start_view_change(self.view + 1)
+
+    def _start_view_change(self, new_view: int) -> None:
+        if new_view <= self.view or new_view in self._view_change_sent_for:
+            return
+        self._view_change_sent_for.add(new_view)
+        self.stats["view_changes"] += 1
+        prepared = []
+        for sequence, slot in sorted(self._slots.items()):
+            if slot.commit_sent and slot.pre_prepare is not None and slot.digest is not None:
+                prepared.append((sequence, slot.view, slot.digest, slot.pre_prepare.requests))
+        self.charge_cpu(self.costs.rsa_sign)
+        message = PbftViewChange(
+            new_view=new_view,
+            replica_id=self.node_id,
+            last_stable=self.last_stable,
+            prepared=tuple(prepared),
+            signature=self.signing_key.sign(("view-change", new_view, self.last_stable)),
+        )
+        self._broadcast(message)
+        self._ensure_view_change_timer()
+
+    def _on_view_change(self, message: PbftViewChange, src: int) -> None:
+        if message.new_view <= self.view:
+            return
+        per_view = self._view_changes.setdefault(message.new_view, {})
+        per_view[message.replica_id] = message
+        if len(per_view) >= self.config.f + 1 and message.new_view not in self._view_change_sent_for:
+            self._start_view_change(message.new_view)
+        if message.new_view % self.n == self.node_id and len(per_view) >= self.quorum:
+            if message.new_view not in self._new_view_sent_for:
+                self._new_view_sent_for.add(message.new_view)
+                selected = tuple(list(per_view.values())[: self.quorum])
+                self._broadcast(PbftNewView(view=message.new_view, view_changes=selected))
+
+    def _on_new_view(self, message: PbftNewView, src: int) -> None:
+        if message.view <= self.view or message.view % self.n != src:
+            return
+        if len(message.view_changes) < self.quorum:
+            return
+        self.view = message.view
+        if self._view_change_timer is not None:
+            self.cancel_timer(self._view_change_timer)
+            self._view_change_timer = None
+        # Re-propose the highest prepared value per slot (simplified carry-over).
+        best: Dict[int, Tuple[int, str, Tuple]] = {}
+        for view_change in message.view_changes:
+            for sequence, view, digest, requests in view_change.prepared:
+                if sequence <= self.last_stable:
+                    continue
+                if sequence not in best or view > best[sequence][0]:
+                    best[sequence] = (view, digest, requests)
+        if self.is_primary:
+            for sequence in sorted(best):
+                _view, _digest, requests = best[sequence]
+                digest = block_digest(sequence, self.view, [r.request_id for r in requests])
+                self.charge_cpu(self.costs.rsa_sign)
+                signature = self.signing_key.sign(("pre-prepare", sequence, self.view, digest))
+                self._broadcast(
+                    PrePrepare(
+                        sequence=sequence,
+                        view=self.view,
+                        requests=tuple(requests),
+                        digest=digest,
+                        primary_signature=signature,
+                    )
+                )
+            self.next_sequence = max(self.next_sequence, max(best) + 1 if best else self.last_executed + 1)
+            self._maybe_propose()
+        # Reset per-view vote state for open slots.
+        for slot in self._slots.values():
+            if not slot.committed:
+                slot.prepares.clear()
+                slot.commits.clear()
+                slot.prepare_sent = False
+                slot.commit_sent = False
+                slot.pre_prepare = None
+                slot.digest = None

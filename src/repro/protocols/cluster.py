@@ -1,0 +1,249 @@
+"""Cluster builder and experiment runner.
+
+A :class:`Cluster` wires together a simulator, a network topology, ``n``
+replicas of the chosen protocol variant, the trusted setup and a set of
+closed-loop clients, runs a workload to completion (or a time limit) and
+returns a :class:`ClusterResult` with the throughput/latency summary plus the
+network traffic counters used by the linearity analyses.
+
+This is the public entry point most examples and benchmarks use::
+
+    cluster = build_cluster("sbft-c0", f=1, num_clients=4, topology="continent")
+    result = cluster.run(KVWorkload(requests_per_client=50, batch_size=8))
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+from repro.core.client import SBFTClient
+from repro.core.config import SBFTConfig
+from repro.core.keys import TrustedSetup
+from repro.core.replica import SBFTReplica
+from repro.crypto.costs import CryptoCosts, DEFAULT_COSTS
+from repro.errors import ConfigurationError
+from repro.metrics.collector import LatencyRecorder, RunResult
+from repro.pbft.replica import PBFTReplica
+from repro.protocols.registry import ProtocolSpec, get_protocol
+from repro.services.interface import AuthenticatedService
+from repro.sim.events import Simulator
+from repro.sim.faults import FaultInjector, FaultPlan
+from repro.sim.latency import make_topology
+from repro.sim.network import Network
+
+
+@dataclass
+class ClusterResult:
+    """Everything a benchmark needs from one run."""
+
+    run: RunResult
+    replica_stats: Dict[int, Dict[str, int]] = field(default_factory=dict)
+    client_stats: Dict[int, Dict[str, int]] = field(default_factory=dict)
+    network_messages: int = 0
+    network_bytes: int = 0
+    per_type_messages: Dict[str, int] = field(default_factory=dict)
+    sim_time: float = 0.0
+
+    # Convenience pass-throughs used all over the benchmarks.
+    @property
+    def throughput(self) -> float:
+        return self.run.throughput
+
+    @property
+    def mean_latency(self) -> float:
+        return self.run.mean_latency
+
+    @property
+    def median_latency(self) -> float:
+        return self.run.median_latency
+
+    @property
+    def completed_operations(self) -> int:
+        return self.run.completed_operations
+
+
+class Cluster:
+    """A fully wired simulated deployment of one protocol variant."""
+
+    def __init__(
+        self,
+        spec: ProtocolSpec,
+        config: SBFTConfig,
+        num_clients: int = 4,
+        topology: str = "lan",
+        seed: int = 0,
+        costs: CryptoCosts = DEFAULT_COSTS,
+        fault_plan: Optional[FaultPlan] = None,
+        drop_rate: float = 0.0,
+        topology_kwargs: Optional[Dict[str, Any]] = None,
+    ):
+        self.spec = spec
+        self.config = config
+        self.num_clients = num_clients
+        self.topology = topology
+        self.seed = seed
+        self.costs = costs
+        self.fault_plan = fault_plan
+        self.drop_rate = drop_rate
+        self.topology_kwargs = topology_kwargs or {}
+
+        self.sim: Optional[Simulator] = None
+        self.network: Optional[Network] = None
+        self.replicas: Dict[int, Any] = {}
+        self.clients: Dict[int, SBFTClient] = {}
+        self.setup: Optional[TrustedSetup] = None
+        self.recorder = LatencyRecorder()
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def _build(self, workload: Any) -> None:
+        config = self.config
+        n = config.n
+        total_nodes = n + self.num_clients
+
+        self.sim = Simulator(seed=self.seed)
+        latency = make_topology(self.topology, total_nodes, **self.topology_kwargs)
+        self.network = Network(self.sim, latency=latency, drop_rate=self.drop_rate)
+        self.setup = TrustedSetup(config, seed=self.seed)
+        self.recorder = LatencyRecorder()
+
+        if hasattr(workload, "set_num_clients"):
+            workload.set_num_clients(self.num_clients)
+
+        client_directory = {i: n + i for i in range(self.num_clients)}
+
+        # Replicas.
+        for replica_id in range(n):
+            service = workload.service_factory()
+            if self.spec.kind == "pbft":
+                replica = PBFTReplica(
+                    sim=self.sim,
+                    network=self.network,
+                    node_id=replica_id,
+                    config=config,
+                    signing_key=self.setup.replica_keys(replica_id).signing_key,
+                    verify_keys={i: self.setup.replica_verify_key(i) for i in range(n)},
+                    service=service,
+                    costs=self.costs,
+                    client_directory=client_directory,
+                )
+            else:
+                replica = SBFTReplica(
+                    sim=self.sim,
+                    network=self.network,
+                    node_id=replica_id,
+                    config=config,
+                    keys=self.setup.replica_keys(replica_id),
+                    service=service,
+                    costs=self.costs,
+                    client_directory=client_directory,
+                )
+            self.network.register(replica)
+            self.replicas[replica_id] = replica
+
+        # One extra service instance only used by clients to verify Merkle
+        # proofs (verification is state-independent).
+        verifier = workload.service_factory()
+        if not isinstance(verifier, AuthenticatedService):
+            verifier = None
+
+        # Clients.
+        for client_index in range(self.num_clients):
+            node_id = n + client_index
+            requests = workload.client_operations(client_index)
+            client = SBFTClient(
+                sim=self.sim,
+                network=self.network,
+                node_id=node_id,
+                client_id=client_index,
+                config=config,
+                signing_key=self.setup.client_signing_key(client_index),
+                requests=requests,
+                recorder=self.recorder,
+                verifier=verifier,
+                costs=self.costs,
+                start_delay=0.001 * client_index,
+            )
+            client.pi_scheme = self.setup.pi
+            self.network.register(client)
+            self.clients[client_index] = client
+
+        if self.fault_plan is not None and len(self.fault_plan):
+            injector = FaultInjector(self.sim, self.replicas)
+            injector.apply(self.fault_plan)
+
+    # ------------------------------------------------------------------
+    # Running
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        workload: Any,
+        max_sim_time: float = 300.0,
+        max_events: Optional[int] = None,
+        label: Optional[str] = None,
+    ) -> ClusterResult:
+        """Build the cluster, run the workload and summarize the results."""
+        self._build(workload)
+        assert self.sim is not None and self.network is not None
+
+        def all_clients_done() -> bool:
+            return all(client.done for client in self.clients.values())
+
+        self.sim.run(until=max_sim_time, max_events=max_events, stop_when=all_clients_done)
+
+        duration = self.recorder.last_completion or self.sim.now or 1.0
+        run = self.recorder.summary(duration=duration, label=label or self.spec.name)
+        run.messages_sent = self.network.stats.messages_sent
+        run.bytes_sent = self.network.stats.bytes_sent
+
+        return ClusterResult(
+            run=run,
+            replica_stats={rid: dict(r.stats) for rid, r in self.replicas.items()},
+            client_stats={cid: dict(c.stats) for cid, c in self.clients.items()},
+            network_messages=self.network.stats.messages_sent,
+            network_bytes=self.network.stats.bytes_sent,
+            per_type_messages=dict(self.network.stats.per_type_count),
+            sim_time=self.sim.now,
+        )
+
+
+def build_cluster(
+    protocol: str,
+    f: int = 1,
+    c: Optional[int] = None,
+    num_clients: int = 4,
+    topology: str = "lan",
+    batch_size: int = 4,
+    seed: int = 0,
+    costs: CryptoCosts = DEFAULT_COSTS,
+    fault_plan: Optional[FaultPlan] = None,
+    drop_rate: float = 0.0,
+    config_overrides: Optional[Dict[str, Any]] = None,
+    topology_kwargs: Optional[Dict[str, Any]] = None,
+) -> Cluster:
+    """Build a cluster for one of the registered protocol variants.
+
+    Parameters mirror the paper's experimental knobs: ``f`` (tolerated
+    Byzantine faults), ``c`` (redundant servers; defaults to the variant's
+    value), ``num_clients``, ``topology`` (``lan`` / ``continent`` / ``world``)
+    and ``batch_size`` (client requests per decision block).
+    """
+    if f < 1:
+        raise ConfigurationError("f must be >= 1")
+    spec = get_protocol(protocol)
+    overrides = dict(config_overrides or {})
+    overrides.setdefault("batch_size", batch_size)
+    config = spec.build_config(f=f, c=c, **overrides)
+    return Cluster(
+        spec=spec,
+        config=config,
+        num_clients=num_clients,
+        topology=topology,
+        seed=seed,
+        costs=costs,
+        fault_plan=fault_plan,
+        drop_rate=drop_rate,
+        topology_kwargs=topology_kwargs,
+    )

@@ -1,0 +1,137 @@
+"""The five protocol variants compared in the paper's evaluation (Section IX).
+
+1. **PBFT** — the scale-optimized baseline (all-to-all phases, f+1 replies).
+2. **Linear-PBFT** — ingredient 1: collectors + threshold signatures replace
+   the all-to-all phases.
+3. **Linear-PBFT + Fast path** — ingredients 1 and 2.
+4. **SBFT (c=0)** — ingredients 1, 2 and 3 (execution collectors, single
+   client acknowledgement).
+5. **SBFT (c=8)** — all four ingredients (redundant servers in the fast path).
+
+Each variant is expressed as an :class:`~repro.core.config.SBFTConfig` recipe;
+the PBFT variant additionally switches the replica implementation to
+:class:`repro.pbft.replica.PBFTReplica`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional
+
+from repro.core.config import SBFTConfig
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class ProtocolSpec:
+    """How to build one protocol variant."""
+
+    name: str
+    kind: str                      # "sbft" or "pbft"
+    default_c: int
+    description: str
+    config_builder: Callable[..., SBFTConfig]
+
+    def build_config(self, f: int, c: Optional[int] = None, **overrides) -> SBFTConfig:
+        effective_c = self.default_c if c is None else c
+        return self.config_builder(f=f, c=effective_c, **overrides)
+
+
+def _pbft_config(f: int, c: int, **overrides) -> SBFTConfig:
+    return SBFTConfig(
+        f=f,
+        c=c,
+        linear_communication=False,
+        fast_path_enabled=False,
+        execution_collectors_enabled=False,
+        **overrides,
+    )
+
+
+def _linear_pbft_config(f: int, c: int, **overrides) -> SBFTConfig:
+    return SBFTConfig(
+        f=f,
+        c=c,
+        linear_communication=True,
+        fast_path_enabled=False,
+        execution_collectors_enabled=False,
+        **overrides,
+    )
+
+
+def _linear_fast_config(f: int, c: int, **overrides) -> SBFTConfig:
+    return SBFTConfig(
+        f=f,
+        c=c,
+        linear_communication=True,
+        fast_path_enabled=True,
+        execution_collectors_enabled=False,
+        **overrides,
+    )
+
+
+def _sbft_config(f: int, c: int, **overrides) -> SBFTConfig:
+    return SBFTConfig(
+        f=f,
+        c=c,
+        linear_communication=True,
+        fast_path_enabled=True,
+        execution_collectors_enabled=True,
+        **overrides,
+    )
+
+
+PROTOCOLS: Dict[str, ProtocolSpec] = {
+    "pbft": ProtocolSpec(
+        name="pbft",
+        kind="pbft",
+        default_c=0,
+        description="Scale-optimized PBFT baseline (all-to-all, f+1 client replies)",
+        config_builder=_pbft_config,
+    ),
+    "linear-pbft": ProtocolSpec(
+        name="linear-pbft",
+        kind="sbft",
+        default_c=0,
+        description="Ingredient 1: collectors and threshold signatures (no fast path)",
+        config_builder=_linear_pbft_config,
+    ),
+    "linear-pbft-fast": ProtocolSpec(
+        name="linear-pbft-fast",
+        kind="sbft",
+        default_c=0,
+        description="Ingredients 1+2: linear communication plus the optimistic fast path",
+        config_builder=_linear_fast_config,
+    ),
+    "sbft-c0": ProtocolSpec(
+        name="sbft-c0",
+        kind="sbft",
+        default_c=0,
+        description="Ingredients 1+2+3: adds execution collectors (single client message)",
+        config_builder=_sbft_config,
+    ),
+    "sbft-c8": ProtocolSpec(
+        name="sbft-c8",
+        kind="sbft",
+        default_c=8,
+        description="All four ingredients: redundant servers tolerate c stragglers in the fast path",
+        config_builder=_sbft_config,
+    ),
+}
+
+#: The order the paper's figures list the protocols in.
+PAPER_ORDER: List[str] = ["pbft", "linear-pbft", "linear-pbft-fast", "sbft-c0", "sbft-c8"]
+
+
+def get_protocol(name: str) -> ProtocolSpec:
+    """Look up a protocol variant by name."""
+    try:
+        return PROTOCOLS[name]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown protocol {name!r}; expected one of {sorted(PROTOCOLS)}"
+        ) from None
+
+
+def protocol_names() -> List[str]:
+    return list(PAPER_ORDER)

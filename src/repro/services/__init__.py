@@ -1,0 +1,37 @@
+"""Replicated service layer (Section IV of the paper).
+
+Three layers, mirroring SBFT's layered architecture:
+
+1. the **generic service** interface (:class:`ReplicatedService`) — any
+   deterministic state machine with ``execute`` operations and read-only
+   ``query``s,
+2. the **authenticated key-value store**
+   (:class:`~repro.services.authenticated_kv.AuthenticatedKVStore`) that adds
+   the Merkle ``digest`` / ``proof`` / ``verify`` interface used for
+   single-replica client acknowledgement, and
+3. the **smart-contract ledger** (:class:`~repro.services.ledger.LedgerService`)
+   that executes EVM transactions on top of the authenticated store.
+"""
+
+from repro.services.interface import (
+    Operation,
+    OperationResult,
+    ReplicatedService,
+    AuthenticatedService,
+    ExecutionProof,
+)
+from repro.services.kvstore import KVStore, KVOperation
+from repro.services.authenticated_kv import AuthenticatedKVStore
+from repro.services.ledger import LedgerService
+
+__all__ = [
+    "Operation",
+    "OperationResult",
+    "ReplicatedService",
+    "AuthenticatedService",
+    "ExecutionProof",
+    "KVStore",
+    "KVOperation",
+    "AuthenticatedKVStore",
+    "LedgerService",
+]

@@ -1,0 +1,263 @@
+"""Merkle-authenticated key-value store (Section IV).
+
+This is the service SBFT's single-message client acknowledgement relies on:
+after executing decision block ``s`` the replica's state digest ``d_s`` is a
+commitment to the whole execution history, so an E-collector can hand the
+client one Merkle proof showing that its operation was executed as the
+``l``-th operation of block ``s`` with result ``val``, verifiable against
+``d_s`` alone.
+
+The digest is an incremental hash chain over per-block execution journals::
+
+    d_0 = H("genesis")
+    d_s = H(d_{s-1} || s || journal_root_s)
+
+where ``journal_root_s`` is the Merkle root over the block's per-operation
+entries ``(s, l, H(o), H(val))``.  Because execution is deterministic, the
+chain commits to the full key-value state as well as to every executed
+operation; this mirrors the history-chaining commitment the paper introduces
+for its pipelined view change (Section V-G.1) and keeps ``digest()`` O(1) per
+block instead of re-hashing the entire store.
+
+A proof for operation ``l`` of block ``s`` is the entry's Merkle path inside
+``journal_root_s`` plus ``d_{s-1}``; verification recomputes
+``H(d_{s-1} || s || root)`` and compares with ``d_s``.  Proofs therefore stay
+valid no matter how many blocks execute afterwards — exactly what the
+execute-ack needs, since the π certificate is over ``d_s``.
+"""
+
+from __future__ import annotations
+
+import copy
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Sequence
+
+from repro.crypto.hashing import sha256_hex
+from repro.crypto.merkle import MerkleProof, MerkleTree
+from repro.errors import InvalidProof
+from repro.services.interface import (
+    AuthenticatedService,
+    ExecutionProof,
+    Operation,
+    OperationResult,
+)
+from repro.services.kvstore import KVOperation, KVStore
+
+GENESIS_DIGEST = sha256_hex("authkv-genesis")
+
+
+@dataclass(frozen=True)
+class JournalEntry:
+    """What the state commits to for one executed operation."""
+
+    sequence: int
+    position: int
+    operation_digest: str
+    result_digest: str
+
+
+@dataclass(frozen=True)
+class KVProof:
+    """Proof bundle: entry-in-block Merkle path plus the previous chain digest."""
+
+    entry: JournalEntry
+    entry_proof: MerkleProof
+    prev_digest: str
+
+    @property
+    def size_bytes(self) -> int:
+        return 96 + self.entry_proof.size_bytes
+
+
+def _operation_digest(operation: Operation) -> str:
+    return sha256_hex("op", operation.kind, operation.client_id, operation.timestamp, operation.payload)
+
+
+def _result_digest(result: OperationResult) -> str:
+    # Only the return value is committed: it is what the client receives in an
+    # execute-ack and checks against the proof (Section V-A).
+    return sha256_hex("result", result.value)
+
+
+def _entry_leaf(entry: JournalEntry) -> tuple:
+    return (entry.sequence, entry.position, entry.operation_digest, entry.result_digest)
+
+
+def chain_step(prev_digest: str, sequence: int, journal_root: str) -> str:
+    """One step of the state-digest hash chain."""
+    return sha256_hex("authkv-chain", prev_digest, sequence, journal_root)
+
+
+class AuthenticatedKVStore(AuthenticatedService):
+    """Key-value store with the paper's ``digest``/``proof``/``verify`` API."""
+
+    def __init__(self, persist_cost_per_byte: float = 5e-9):
+        self._store = KVStore(persist_cost_per_byte=persist_cost_per_byte)
+        self._chain_digest = GENESIS_DIGEST
+        self._journal_entries: Dict[int, List[JournalEntry]] = {}
+        self._journal_results: Dict[int, List[OperationResult]] = {}
+        self._journal_trees: Dict[int, MerkleTree] = {}
+        self._prev_digest: Dict[int, str] = {}
+        self._digest_at: Dict[int, str] = {}
+        self._block_order: List[int] = []
+
+    # ------------------------------------------------------------------
+    # ReplicatedService
+    # ------------------------------------------------------------------
+    def execute(self, operation: Operation) -> OperationResult:
+        return self._store.execute(operation)
+
+    def query(self, operation: Operation) -> OperationResult:
+        return self._store.query(operation)
+
+    def execution_cost(self, operation: Operation) -> float:
+        return self._store.execution_cost(operation) + 2e-6
+
+    def execute_block(self, sequence: int, operations: Sequence[Operation]) -> List[OperationResult]:
+        """Execute a decision block and journal it for later proofs."""
+        results = [self.execute(op) for op in operations]
+        self.journal_block(sequence, operations, results)
+        return results
+
+    def journal_block(
+        self,
+        sequence: int,
+        operations: Sequence[Operation],
+        results: Sequence[OperationResult],
+    ) -> None:
+        """Journal an already-executed block so it can be proven later.
+
+        Used directly by services (e.g. the ledger) that execute operations
+        through their own engine but store state in this authenticated store.
+        """
+        entries = [
+            JournalEntry(
+                sequence=sequence,
+                position=position,
+                operation_digest=_operation_digest(op),
+                result_digest=_result_digest(result),
+            )
+            for position, (op, result) in enumerate(zip(operations, results))
+        ]
+        tree = MerkleTree([_entry_leaf(entry) for entry in entries])
+        self._journal_entries[sequence] = entries
+        self._journal_results[sequence] = list(results)
+        self._journal_trees[sequence] = tree
+        self._prev_digest[sequence] = self._chain_digest
+        self._chain_digest = chain_step(self._chain_digest, sequence, tree.root)
+        self._digest_at[sequence] = self._chain_digest
+        self._block_order.append(sequence)
+
+    def snapshot(self) -> Any:
+        return {
+            "data": self._store.snapshot(),
+            "blocks": [
+                {
+                    "sequence": sequence,
+                    "entries": copy.deepcopy(self._journal_entries[sequence]),
+                    "results": copy.deepcopy(self._journal_results[sequence]),
+                }
+                for sequence in self._block_order
+            ],
+        }
+
+    def restore(self, snapshot: Any) -> None:
+        self._store.restore(snapshot["data"])
+        self._chain_digest = GENESIS_DIGEST
+        self._journal_entries = {}
+        self._journal_results = {}
+        self._journal_trees = {}
+        self._prev_digest = {}
+        self._digest_at = {}
+        self._block_order = []
+        for block in snapshot["blocks"]:
+            sequence = block["sequence"]
+            entries = list(block["entries"])
+            tree = MerkleTree([_entry_leaf(entry) for entry in entries])
+            self._journal_entries[sequence] = entries
+            self._journal_results[sequence] = list(block["results"])
+            self._journal_trees[sequence] = tree
+            self._prev_digest[sequence] = self._chain_digest
+            self._chain_digest = chain_step(self._chain_digest, sequence, tree.root)
+            self._digest_at[sequence] = self._chain_digest
+            self._block_order.append(sequence)
+
+    # ------------------------------------------------------------------
+    # AuthenticatedService
+    # ------------------------------------------------------------------
+    def digest(self) -> str:
+        """Current state digest (the tip of the hash chain)."""
+        return self._chain_digest
+
+    def digest_at(self, sequence: int) -> str:
+        """State digest right after executing block ``sequence``."""
+        try:
+            return self._digest_at[sequence]
+        except KeyError:
+            raise InvalidProof(f"no executed block with sequence {sequence}") from None
+
+    def prove(self, sequence: int, position: int) -> ExecutionProof:
+        entries = self._journal_entries.get(sequence)
+        if entries is None:
+            raise InvalidProof(f"no executed block with sequence {sequence}")
+        if position < 0 or position >= len(entries):
+            raise InvalidProof(f"position {position} out of range for block {sequence}")
+        proof = KVProof(
+            entry=entries[position],
+            entry_proof=self._journal_trees[sequence].prove(position),
+            prev_digest=self._prev_digest[sequence],
+        )
+        return ExecutionProof(
+            sequence=sequence, position=position, digest=self._digest_at[sequence], proof=proof
+        )
+
+    def verify(
+        self,
+        digest: str,
+        operation: Operation,
+        value: Any,
+        sequence: int,
+        position: int,
+        proof: ExecutionProof,
+    ) -> bool:
+        kv_proof = proof.proof
+        if not isinstance(kv_proof, KVProof):
+            return False
+        entry = kv_proof.entry
+        if entry.sequence != sequence or entry.position != position:
+            return False
+        if entry.operation_digest != _operation_digest(operation):
+            return False
+        if entry.result_digest != _result_digest(OperationResult(value=value)):
+            return False
+        journal_root = kv_proof.entry_proof.root_from(_entry_leaf(entry))
+        return chain_step(kv_proof.prev_digest, sequence, journal_root) == digest
+
+    # ------------------------------------------------------------------
+    # Convenience accessors
+    # ------------------------------------------------------------------
+    def result_for(self, sequence: int, position: int) -> OperationResult:
+        """Recorded result of the ``position``-th operation of block ``sequence``."""
+        return self._journal_results[sequence][position]
+
+    def get(self, key: str, default: Optional[Any] = None) -> Any:
+        return self._store.get(key, default)
+
+    def put(self, key: str, value: Any) -> None:
+        self._store.put(key, value)
+
+    @property
+    def executed_blocks(self) -> int:
+        return len(self._block_order)
+
+    @staticmethod
+    def make_put(key: str, value: Any, client_id: int = -1, timestamp: int = 0) -> Operation:
+        op = KVOperation.put(key, value)
+        return Operation(kind=op.kind, payload=op.payload, client_id=client_id, timestamp=timestamp)
+
+    @staticmethod
+    def make_get(key: str, client_id: int = -1, timestamp: int = 0) -> Operation:
+        op = KVOperation.get(key)
+        return Operation(
+            kind=op.kind, payload=op.payload, client_id=client_id, timestamp=timestamp, read_only=True
+        )

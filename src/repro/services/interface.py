@@ -1,0 +1,128 @@
+"""The generic replicated-service and data-authentication interfaces.
+
+Section IV of the paper defines two interfaces the replication engine is
+parameterised by:
+
+* the **generic service**: ``val = execute(D, o)`` mutates the state and
+  returns an output; ``val = query(D, q)`` reads without mutating; the state
+  advances in discrete blocks ``D_{j-1} -> D_j`` by executing the request
+  series ``req_j``.
+* the **data-authentication (Merkle) interface**: ``d = digest(D)``,
+  ``P = proof(o, l, s, D, val)`` and ``verify(d, o, val, s, l, P)``, used so a
+  client can accept a single ``execute-ack`` from one replica.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, List, Optional, Sequence, Tuple
+
+
+@dataclass(frozen=True)
+class Operation:
+    """A client operation submitted to the replicated service.
+
+    ``kind`` and ``payload`` are interpreted by the concrete service; the
+    replication layer treats operations as opaque apart from ``client_id`` /
+    ``timestamp`` (used for deduplication and reply routing) and
+    ``size_bytes`` (used by the network model).
+    """
+
+    kind: str
+    payload: Any = None
+    client_id: int = -1
+    timestamp: int = 0
+    read_only: bool = False
+
+    @property
+    def size_bytes(self) -> int:
+        payload = self.payload
+        if isinstance(payload, (bytes, str)):
+            base = len(payload)
+        elif isinstance(payload, (list, tuple, dict)):
+            base = 32 * max(1, len(payload))
+        else:
+            base = 32
+        return 64 + base
+
+
+@dataclass(frozen=True)
+class OperationResult:
+    """The value returned by executing one operation."""
+
+    value: Any = None
+    ok: bool = True
+    error: Optional[str] = None
+
+
+@dataclass(frozen=True)
+class ExecutionProof:
+    """Proof that an operation executed at a given position of a block.
+
+    Wraps the service-specific Merkle proof together with the sequence number
+    ``s`` and in-block position ``l`` the paper's ``proof(o, l, s, D, val)``
+    refers to.
+    """
+
+    sequence: int
+    position: int
+    digest: str
+    proof: Any
+
+    @property
+    def size_bytes(self) -> int:
+        inner = getattr(self.proof, "size_bytes", 64)
+        return 48 + int(inner)
+
+
+class ReplicatedService:
+    """Deterministic application state machine replicated by the BFT engine."""
+
+    def execute(self, operation: Operation) -> OperationResult:
+        """Apply one operation to the state and return its result."""
+        raise NotImplementedError
+
+    def query(self, operation: Operation) -> OperationResult:
+        """Answer a read-only query without modifying state."""
+        raise NotImplementedError
+
+    def execute_block(self, sequence: int, operations: Sequence[Operation]) -> List[OperationResult]:
+        """Apply a whole decision block; the default executes sequentially."""
+        return [self.execute(op) for op in operations]
+
+    def execution_cost(self, operation: Operation) -> float:
+        """Simulated CPU seconds needed to execute ``operation``."""
+        return 5e-6
+
+    def snapshot(self) -> Any:
+        """Serializable copy of the full state (used by state transfer)."""
+        raise NotImplementedError
+
+    def restore(self, snapshot: Any) -> None:
+        """Replace the state with a snapshot produced by :meth:`snapshot`."""
+        raise NotImplementedError
+
+
+class AuthenticatedService(ReplicatedService):
+    """A replicated service that additionally offers Merkle authentication."""
+
+    def digest(self) -> str:
+        """Merkle root digest of the current state (``d = digest(D)``)."""
+        raise NotImplementedError
+
+    def prove(self, sequence: int, position: int) -> ExecutionProof:
+        """Proof that the ``position``-th operation of block ``sequence``
+        executed with its recorded result (``P = proof(o, l, s, D, val)``)."""
+        raise NotImplementedError
+
+    def verify(
+        self,
+        digest: str,
+        operation: Operation,
+        value: Any,
+        sequence: int,
+        position: int,
+        proof: ExecutionProof,
+    ) -> bool:
+        """``verify(d, o, val, s, l, P)`` from Section IV."""
+        raise NotImplementedError

@@ -1,0 +1,97 @@
+"""Plain in-memory key-value store service.
+
+Used by the key-value micro-benchmark of Section IX ("each request is a single
+put operation for writing a random value to a random key") and as the storage
+backend of the authenticated store and the ledger.
+"""
+
+from __future__ import annotations
+
+import copy
+from dataclasses import dataclass
+from typing import Any, Dict, Optional
+
+from repro.services.interface import Operation, OperationResult, ReplicatedService
+
+
+@dataclass(frozen=True)
+class KVOperation:
+    """Payload of a key-value operation: ``put``, ``get`` or ``delete``."""
+
+    action: str
+    key: str
+    value: Any = None
+
+    @staticmethod
+    def put(key: str, value: Any) -> Operation:
+        return Operation(kind="kv", payload=KVOperation("put", key, value))
+
+    @staticmethod
+    def get(key: str) -> Operation:
+        return Operation(kind="kv", payload=KVOperation("get", key), read_only=True)
+
+    @staticmethod
+    def delete(key: str) -> Operation:
+        return Operation(kind="kv", payload=KVOperation("delete", key))
+
+
+class KVStore(ReplicatedService):
+    """Deterministic dictionary-backed key-value store."""
+
+    def __init__(self, persist_cost_per_byte: float = 0.0):
+        self._data: Dict[str, Any] = {}
+        self._persist_cost_per_byte = persist_cost_per_byte
+
+    # ------------------------------------------------------------------
+    # ReplicatedService
+    # ------------------------------------------------------------------
+    def execute(self, operation: Operation) -> OperationResult:
+        payload = operation.payload
+        if not isinstance(payload, KVOperation):
+            return OperationResult(ok=False, error="not a KV operation")
+        if payload.action == "put":
+            self._data[payload.key] = payload.value
+            return OperationResult(value=True)
+        if payload.action == "delete":
+            existed = payload.key in self._data
+            self._data.pop(payload.key, None)
+            return OperationResult(value=existed)
+        if payload.action == "get":
+            return OperationResult(value=self._data.get(payload.key))
+        return OperationResult(ok=False, error=f"unknown action {payload.action!r}")
+
+    def query(self, operation: Operation) -> OperationResult:
+        payload = operation.payload
+        if not isinstance(payload, KVOperation) or payload.action != "get":
+            return OperationResult(ok=False, error="not a KV query")
+        return OperationResult(value=self._data.get(payload.key))
+
+    def execution_cost(self, operation: Operation) -> float:
+        cost = 3e-6
+        if self._persist_cost_per_byte:
+            cost += self._persist_cost_per_byte * operation.size_bytes
+        return cost
+
+    def snapshot(self) -> Any:
+        return copy.deepcopy(self._data)
+
+    def restore(self, snapshot: Any) -> None:
+        self._data = copy.deepcopy(snapshot)
+
+    # ------------------------------------------------------------------
+    # Direct access (tests, ledger backend)
+    # ------------------------------------------------------------------
+    def get(self, key: str, default: Optional[Any] = None) -> Any:
+        return self._data.get(key, default)
+
+    def put(self, key: str, value: Any) -> None:
+        self._data[key] = value
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._data
+
+    def keys(self):
+        return self._data.keys()

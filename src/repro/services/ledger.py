@@ -1,0 +1,168 @@
+"""Smart-contract ledger: the EVM layered on the authenticated KV store.
+
+This is the topmost layer of Section IV's architecture: ledger operations are
+EVM transactions, state (accounts, code, contract storage) lives in the
+authenticated key-value store, and execution costs are derived from gas used
+so the replication benchmarks see realistic per-transaction work.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, List, Optional, Sequence
+
+from repro.crypto.costs import CryptoCosts, DEFAULT_COSTS
+from repro.errors import InvalidTransaction
+from repro.evm.state import WorldState
+from repro.evm.transactions import Transaction, TransactionReceipt, apply_transaction
+from repro.evm.vm import EVM, BlockContext
+from repro.services.authenticated_kv import AuthenticatedKVStore
+from repro.services.interface import (
+    AuthenticatedService,
+    ExecutionProof,
+    Operation,
+    OperationResult,
+)
+
+
+def ledger_operation(transaction: Transaction, client_id: int = -1, timestamp: int = 0) -> Operation:
+    """Wrap an EVM transaction as a replicated-service operation."""
+    return Operation(kind="ledger", payload=transaction, client_id=client_id, timestamp=timestamp)
+
+
+class LedgerService(AuthenticatedService):
+    """EVM-executing replicated service with Merkle authentication."""
+
+    def __init__(self, costs: CryptoCosts = DEFAULT_COSTS, persist_cost_per_byte: Optional[float] = None):
+        persist = costs.persist_per_byte if persist_cost_per_byte is None else persist_cost_per_byte
+        self._authkv = AuthenticatedKVStore(persist_cost_per_byte=persist)
+        self._world = WorldState(backend=self._authkv)
+        self._block_number = 0
+        self._costs = costs
+        self.receipts: List[TransactionReceipt] = []
+
+    # ------------------------------------------------------------------
+    # Direct (unreplicated) access — used by workload setup and examples
+    # ------------------------------------------------------------------
+    @property
+    def world(self) -> WorldState:
+        return self._world
+
+    def fund(self, address: str, amount: int) -> None:
+        """Credit an account out-of-band (genesis allocation)."""
+        self._world.add_balance(address, amount)
+
+    def apply(self, transaction: Transaction) -> TransactionReceipt:
+        """Apply one transaction directly (the unreplicated base line)."""
+        evm = EVM(self._world, BlockContext(number=self._block_number))
+        receipt = apply_transaction(self._world, transaction, evm)
+        self.receipts.append(receipt)
+        return receipt
+
+    # ------------------------------------------------------------------
+    # ReplicatedService
+    # ------------------------------------------------------------------
+    def execute(self, operation: Operation) -> OperationResult:
+        transaction = operation.payload
+        if not isinstance(transaction, Transaction):
+            return OperationResult(ok=False, error="not a ledger transaction")
+        try:
+            receipt = self.apply(transaction)
+        except InvalidTransaction as exc:
+            return OperationResult(ok=False, error=str(exc))
+        return OperationResult(
+            value={
+                "success": receipt.success,
+                "gas_used": receipt.gas_used,
+                "contract_address": receipt.contract_address,
+            },
+            ok=receipt.success,
+            error=receipt.error,
+        )
+
+    def query(self, operation: Operation) -> OperationResult:
+        payload = operation.payload
+        if isinstance(payload, dict) and payload.get("query") == "balance":
+            return OperationResult(value=self._world.get_balance(payload["address"]))
+        if isinstance(payload, dict) and payload.get("query") == "storage":
+            return OperationResult(
+                value=self._world.storage_load(payload["address"], payload["slot"])
+            )
+        return OperationResult(ok=False, error="unknown ledger query")
+
+    def execute_block(self, sequence: int, operations: Sequence[Operation]) -> List[OperationResult]:
+        self._block_number += 1
+        # Delegate journaling to the authenticated store so proofs cover the
+        # ledger results; the store executes each operation via our execute().
+        results = []
+        wrapped = _BlockJournal(self._authkv, sequence)
+        for position, operation in enumerate(operations):
+            result = self.execute(operation)
+            wrapped.record(position, operation, result)
+            results.append(result)
+        wrapped.seal()
+        return results
+
+    def execution_cost(self, operation: Operation) -> float:
+        transaction = operation.payload
+        if not isinstance(transaction, Transaction):
+            return 5e-6
+        gas_estimate = min(transaction.gas_limit, 60_000)
+        return (
+            self._costs.evm_base_execute
+            + self._costs.evm_per_gas * gas_estimate
+            + self._costs.persist_per_byte * transaction.size_bytes
+        )
+
+    def snapshot(self) -> Any:
+        return {"authkv": self._authkv.snapshot(), "block_number": self._block_number}
+
+    def restore(self, snapshot: Any) -> None:
+        self._authkv.restore(snapshot["authkv"])
+        self._block_number = snapshot["block_number"]
+
+    # ------------------------------------------------------------------
+    # AuthenticatedService
+    # ------------------------------------------------------------------
+    def digest(self) -> str:
+        return self._authkv.digest()
+
+    def prove(self, sequence: int, position: int) -> ExecutionProof:
+        return self._authkv.prove(sequence, position)
+
+    def verify(
+        self,
+        digest: str,
+        operation: Operation,
+        value: Any,
+        sequence: int,
+        position: int,
+        proof: ExecutionProof,
+    ) -> bool:
+        return self._authkv.verify(digest, operation, value, sequence, position, proof)
+
+    def result_for(self, sequence: int, position: int) -> OperationResult:
+        return self._authkv.result_for(sequence, position)
+
+
+class _BlockJournal:
+    """Records a ledger block in the authenticated store's journal.
+
+    The authenticated store normally journals blocks it executes itself; the
+    ledger executes operations through the EVM instead, so this helper feeds
+    the already-computed results into the same journal structures.
+    """
+
+    def __init__(self, authkv: AuthenticatedKVStore, sequence: int):
+        self._authkv = authkv
+        self._sequence = sequence
+        self._operations: List[Operation] = []
+        self._results: List[OperationResult] = []
+
+    def record(self, position: int, operation: Operation, result: OperationResult) -> None:
+        assert position == len(self._operations)
+        self._operations.append(operation)
+        self._results.append(result)
+
+    def seal(self) -> None:
+        self._authkv.journal_block(self._sequence, self._operations, self._results)

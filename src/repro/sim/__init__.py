@@ -1,0 +1,47 @@
+"""Deterministic discrete-event simulation substrate.
+
+The paper evaluates SBFT on a real 200+ replica geo-distributed deployment.
+This package provides the substitute substrate: a deterministic discrete-event
+simulator with
+
+* an event scheduler with stable tie-breaking (:mod:`repro.sim.events`),
+* a :class:`~repro.sim.process.Process` base class that models per-node CPU
+  occupancy so that cryptographic and execution costs translate into simulated
+  time,
+* a point-to-point :class:`~repro.sim.network.Network` with WAN latency
+  matrices, bandwidth, jitter, message loss and partitions
+  (:mod:`repro.sim.latency`), and
+* fault injection (crash, straggler, Byzantine) via :mod:`repro.sim.faults`.
+"""
+
+from repro.sim.events import Event, Simulator
+from repro.sim.process import CPUModel, Process
+from repro.sim.network import Network, NetworkStats
+from repro.sim.latency import (
+    LatencyModel,
+    UniformLatency,
+    RegionLatency,
+    lan_topology,
+    continent_wan_topology,
+    world_wan_topology,
+    make_topology,
+)
+from repro.sim.faults import FaultPlan, FaultInjector
+
+__all__ = [
+    "Event",
+    "Simulator",
+    "CPUModel",
+    "Process",
+    "Network",
+    "NetworkStats",
+    "LatencyModel",
+    "UniformLatency",
+    "RegionLatency",
+    "lan_topology",
+    "continent_wan_topology",
+    "world_wan_topology",
+    "make_topology",
+    "FaultPlan",
+    "FaultInjector",
+]

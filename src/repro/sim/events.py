@@ -1,0 +1,150 @@
+"""Event queue and simulator clock.
+
+The simulator is a plain priority queue of ``(time, sequence, callback)``
+entries.  The sequence number gives deterministic FIFO ordering for events
+scheduled at the same instant, which keeps runs reproducible for a fixed seed.
+"""
+
+from __future__ import annotations
+
+import heapq
+import random
+from typing import Any, Callable, Optional
+
+from repro.errors import SimulationError
+
+
+class Event:
+    """A scheduled callback.
+
+    Events are returned by :meth:`Simulator.schedule` so callers can cancel
+    them (e.g. protocol timers).  A cancelled event stays in the heap but is
+    skipped when popped.
+    """
+
+    __slots__ = ("time", "seq", "callback", "args", "cancelled")
+
+    def __init__(self, time: float, seq: int, callback: Callable[..., None], args: tuple):
+        self.time = time
+        self.seq = seq
+        self.callback = callback
+        self.args = args
+        self.cancelled = False
+
+    def cancel(self) -> None:
+        """Mark the event so it is skipped when its time arrives."""
+        self.cancelled = True
+
+    def __lt__(self, other: "Event") -> bool:
+        return (self.time, self.seq) < (other.time, other.seq)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "cancelled" if self.cancelled else "pending"
+        return f"Event(t={self.time:.6f}, seq={self.seq}, {state})"
+
+
+class Simulator:
+    """Deterministic discrete-event scheduler.
+
+    Parameters
+    ----------
+    seed:
+        Seed for the simulator-owned random number generator.  All randomness
+        in the simulation (latency jitter, drops, collector selection noise)
+        should derive from :attr:`rng` or from generators seeded from it so
+        that a run is a pure function of its seed.
+    """
+
+    def __init__(self, seed: int = 0):
+        self.now: float = 0.0
+        self.rng = random.Random(seed)
+        self._heap: list[Event] = []
+        self._seq = 0
+        self._events_processed = 0
+        self._stopped = False
+
+    # ------------------------------------------------------------------
+    # Scheduling
+    # ------------------------------------------------------------------
+    def schedule(self, delay: float, callback: Callable[..., None], *args: Any) -> Event:
+        """Schedule ``callback(*args)`` to run ``delay`` seconds from now."""
+        if delay < 0:
+            raise SimulationError(f"cannot schedule an event in the past (delay={delay})")
+        event = Event(self.now + delay, self._seq, callback, args)
+        self._seq += 1
+        heapq.heappush(self._heap, event)
+        return event
+
+    def schedule_at(self, time: float, callback: Callable[..., None], *args: Any) -> Event:
+        """Schedule ``callback(*args)`` at an absolute simulation time."""
+        return self.schedule(max(0.0, time - self.now), callback, *args)
+
+    def stop(self) -> None:
+        """Request that :meth:`run` return after the current event."""
+        self._stopped = True
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        until: Optional[float] = None,
+        max_events: Optional[int] = None,
+        stop_when: Optional[Callable[[], bool]] = None,
+    ) -> int:
+        """Run events until the queue drains or a stop condition is met.
+
+        Parameters
+        ----------
+        until:
+            Stop once the clock would pass this time (the clock is left at
+            ``until``).
+        max_events:
+            Stop after this many events have been processed in this call.
+        stop_when:
+            Predicate evaluated after each event; the run stops when it
+            returns true.
+
+        Returns
+        -------
+        int
+            The number of events processed by this call.
+        """
+        processed = 0
+        self._stopped = False
+        while self._heap:
+            if max_events is not None and processed >= max_events:
+                break
+            event = self._heap[0]
+            if event.cancelled:
+                heapq.heappop(self._heap)
+                continue
+            if until is not None and event.time > until:
+                self.now = until
+                break
+            heapq.heappop(self._heap)
+            self.now = event.time
+            event.callback(*event.args)
+            processed += 1
+            self._events_processed += 1
+            if self._stopped:
+                break
+            if stop_when is not None and stop_when():
+                break
+        else:
+            if until is not None and self.now < until:
+                self.now = until
+        return processed
+
+    @property
+    def pending_events(self) -> int:
+        """Number of events still queued (including cancelled ones)."""
+        return len(self._heap)
+
+    @property
+    def events_processed(self) -> int:
+        """Total number of events processed over the simulator's lifetime."""
+        return self._events_processed
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Simulator(now={self.now:.6f}, pending={len(self._heap)})"

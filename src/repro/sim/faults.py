@@ -1,0 +1,123 @@
+"""Fault injection: crashes, stragglers and Byzantine behaviours.
+
+The paper's three-mode system model (Section II) distinguishes
+
+* the **asynchronous mode** — up to ``f`` Byzantine replicas, arbitrary delays;
+* the **synchronous mode** — up to ``f`` Byzantine replicas, bounded delays;
+* the **common mode** — up to ``c`` crashed/slow replicas, bounded delays.
+
+A :class:`FaultPlan` describes which replicas misbehave and how; the
+:class:`FaultInjector` applies the plan to a running cluster.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Optional, Sequence
+
+from repro.errors import ConfigurationError
+from repro.sim.events import Simulator
+from repro.sim.process import Process
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """A single fault applied to one replica.
+
+    ``kind`` is one of ``"crash"``, ``"slow"`` or ``"byzantine"``.  ``at_time``
+    is when the fault activates.  ``slow_factor`` multiplies the replica's CPU
+    costs when ``kind == "slow"``.  ``byzantine_mode`` selects the adversarial
+    behaviour implemented by the protocol layer (e.g. ``"equivocate"``,
+    ``"silent"``, ``"stale-viewchange"``).
+    """
+
+    replica_id: int
+    kind: str = "crash"
+    at_time: float = 0.0
+    slow_factor: float = 5.0
+    byzantine_mode: str = "silent"
+
+    def __post_init__(self):
+        if self.kind not in ("crash", "slow", "byzantine"):
+            raise ConfigurationError(f"unknown fault kind {self.kind!r}")
+        if self.slow_factor < 1.0:
+            raise ConfigurationError("slow_factor must be >= 1.0")
+
+
+@dataclass
+class FaultPlan:
+    """A collection of faults applied to a cluster."""
+
+    faults: list = field(default_factory=list)
+
+    @classmethod
+    def crash_first(cls, count: int, at_time: float = 0.0, node_ids: Optional[Sequence[int]] = None) -> "FaultPlan":
+        """Crash the first ``count`` replicas (or an explicit id list)."""
+        ids = list(node_ids) if node_ids is not None else list(range(count))
+        return cls([FaultSpec(replica_id=i, kind="crash", at_time=at_time) for i in ids[:count]])
+
+    @classmethod
+    def crash_backups(cls, count: int, n: int, at_time: float = 0.0) -> "FaultPlan":
+        """Crash ``count`` backup replicas (the highest ids, never replica 0).
+
+        Replica 0 is the primary of view 0, so this models the paper's failure
+        scenarios where crashed replicas are backups and the primary stays up.
+        """
+        ids = list(range(n - 1, max(0, n - 1 - count), -1))
+        return cls([FaultSpec(replica_id=i, kind="crash", at_time=at_time) for i in ids])
+
+    @classmethod
+    def slow(cls, node_ids: Iterable[int], factor: float = 5.0, at_time: float = 0.0) -> "FaultPlan":
+        return cls([
+            FaultSpec(replica_id=i, kind="slow", slow_factor=factor, at_time=at_time)
+            for i in node_ids
+        ])
+
+    @classmethod
+    def byzantine(cls, node_ids: Iterable[int], mode: str = "silent", at_time: float = 0.0) -> "FaultPlan":
+        return cls([
+            FaultSpec(replica_id=i, kind="byzantine", byzantine_mode=mode, at_time=at_time)
+            for i in node_ids
+        ])
+
+    def extend(self, other: "FaultPlan") -> "FaultPlan":
+        return FaultPlan(self.faults + other.faults)
+
+    @property
+    def faulty_ids(self) -> set:
+        return {spec.replica_id for spec in self.faults}
+
+    def __len__(self) -> int:
+        return len(self.faults)
+
+
+class FaultInjector:
+    """Applies a :class:`FaultPlan` to a set of replicas at the right times."""
+
+    def __init__(self, sim: Simulator, replicas: dict):
+        self.sim = sim
+        self.replicas = dict(replicas)
+        self.applied: list[FaultSpec] = []
+
+    def apply(self, plan: FaultPlan) -> None:
+        for spec in plan.faults:
+            if spec.replica_id not in self.replicas:
+                raise ConfigurationError(f"fault references unknown replica {spec.replica_id}")
+            self.sim.schedule(spec.at_time, self._activate, spec)
+
+    def _activate(self, spec: FaultSpec) -> None:
+        replica: Process = self.replicas[spec.replica_id]
+        if spec.kind == "crash":
+            replica.crash()
+        elif spec.kind == "slow":
+            replica.cpu.speed_factor = spec.slow_factor
+        elif spec.kind == "byzantine":
+            activate = getattr(replica, "activate_byzantine", None)
+            if activate is None:
+                # Protocol layers that do not implement adversarial behaviour
+                # degrade a Byzantine fault to a crash, which is the weakest
+                # adversary consistent with the spec.
+                replica.crash()
+            else:
+                activate(spec.byzantine_mode)
+        self.applied.append(spec)

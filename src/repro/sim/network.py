@@ -1,0 +1,163 @@
+"""Point-to-point message transport between simulated processes.
+
+All replica-to-replica and client-to-replica communication goes through a
+:class:`Network`.  The network charges a per-message serialization delay
+(message size / link bandwidth), a one-way propagation delay from the latency
+model, and optionally drops or delays messages to model the asynchronous
+adversary of the system model (Section II).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterable, Optional
+
+from repro.errors import NetworkError
+from repro.sim.events import Simulator
+from repro.sim.latency import LatencyModel, UniformLatency
+from repro.sim.process import Process
+
+
+@dataclass
+class NetworkStats:
+    """Aggregate traffic counters, used by the linearity benchmarks."""
+
+    messages_sent: int = 0
+    messages_delivered: int = 0
+    messages_dropped: int = 0
+    bytes_sent: int = 0
+    per_type_count: dict = field(default_factory=dict)
+    per_type_bytes: dict = field(default_factory=dict)
+
+    def record(self, msg_type: str, size: int) -> None:
+        self.messages_sent += 1
+        self.bytes_sent += size
+        self.per_type_count[msg_type] = self.per_type_count.get(msg_type, 0) + 1
+        self.per_type_bytes[msg_type] = self.per_type_bytes.get(msg_type, 0) + size
+
+
+def _message_type(message: Any) -> str:
+    return getattr(message, "msg_type", type(message).__name__)
+
+
+def _message_size(message: Any) -> int:
+    size = getattr(message, "size_bytes", None)
+    if callable(size):
+        return int(size())
+    if isinstance(size, int):
+        return size
+    return 256
+
+
+class Network:
+    """Simulated point-to-point network.
+
+    Parameters
+    ----------
+    sim:
+        The owning simulator.
+    latency:
+        Latency model used for propagation delays; defaults to a 1 ms LAN.
+    bandwidth_bytes_per_sec:
+        Per-sender serialization bandwidth.  ``None`` disables the
+        serialization delay.
+    drop_rate:
+        Independent probability that any given message is dropped.  Per the
+        system model the adversary may drop each packet a finite number of
+        times; protocols are expected to re-transmit.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        latency: Optional[LatencyModel] = None,
+        bandwidth_bytes_per_sec: Optional[float] = 1.25e9 / 8.0 * 10,  # 10 Gbit/s
+        drop_rate: float = 0.0,
+        seed: Optional[int] = None,
+    ):
+        self.sim = sim
+        self.latency = latency or UniformLatency()
+        self.bandwidth = bandwidth_bytes_per_sec
+        self.drop_rate = drop_rate
+        self.rng = random.Random(seed if seed is not None else sim.rng.getrandbits(32))
+        self.stats = NetworkStats()
+        self._nodes: dict[int, Process] = {}
+        self._down_links: set[tuple[int, int]] = set()
+        self._isolated: set[int] = set()
+        self._taps: list[Callable[[int, int, Any], None]] = []
+
+    # ------------------------------------------------------------------
+    # Membership
+    # ------------------------------------------------------------------
+    def register(self, node: Process) -> None:
+        """Register a process so it can receive messages."""
+        if node.node_id in self._nodes:
+            raise NetworkError(f"node id {node.node_id} registered twice")
+        self._nodes[node.node_id] = node
+
+    def node(self, node_id: int) -> Process:
+        try:
+            return self._nodes[node_id]
+        except KeyError:
+            raise NetworkError(f"unknown node id {node_id}") from None
+
+    @property
+    def node_ids(self) -> list[int]:
+        return sorted(self._nodes)
+
+    # ------------------------------------------------------------------
+    # Fault / partition control
+    # ------------------------------------------------------------------
+    def set_link_down(self, src: int, dst: int) -> None:
+        self._down_links.add((src, dst))
+
+    def set_link_up(self, src: int, dst: int) -> None:
+        self._down_links.discard((src, dst))
+
+    def isolate(self, node_id: int) -> None:
+        """Drop all traffic to and from a node (network partition of one)."""
+        self._isolated.add(node_id)
+
+    def reconnect(self, node_id: int) -> None:
+        self._isolated.discard(node_id)
+
+    def add_tap(self, tap: Callable[[int, int, Any], None]) -> None:
+        """Register an observer called as ``tap(src, dst, message)`` on send."""
+        self._taps.append(tap)
+
+    # ------------------------------------------------------------------
+    # Sending
+    # ------------------------------------------------------------------
+    def send(self, src: int, dst: int, message: Any) -> None:
+        """Send a message; delivery is scheduled per the latency model."""
+        if dst not in self._nodes:
+            raise NetworkError(f"send to unknown node {dst}")
+        size = _message_size(message)
+        self.stats.record(_message_type(message), size)
+        for tap in self._taps:
+            tap(src, dst, message)
+
+        if (
+            (src, dst) in self._down_links
+            or src in self._isolated
+            or dst in self._isolated
+            or (self.drop_rate > 0.0 and self.rng.random() < self.drop_rate)
+        ):
+            self.stats.messages_dropped += 1
+            return
+
+        delay = self.latency.delay(src, dst, self.rng)
+        if self.bandwidth:
+            delay += size / self.bandwidth
+        node = self._nodes[dst]
+        self.sim.schedule(delay, self._deliver, node, message, src)
+
+    def broadcast(self, src: int, message: Any, dst_ids: Iterable[int]) -> None:
+        """Send the same message to every destination (excluding none)."""
+        for dst in dst_ids:
+            self.send(src, dst, message)
+
+    def _deliver(self, node: Process, message: Any, src: int) -> None:
+        self.stats.messages_delivered += 1
+        node.deliver(message, src)

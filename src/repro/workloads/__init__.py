@@ -1,0 +1,15 @@
+"""Workload generators for the paper's two benchmarks.
+
+* :class:`~repro.workloads.kv_workload.KVWorkload` — the key-value
+  micro-benchmark of Section IX (each client sequentially sends requests; a
+  request is either one random put, or a batch of 64 puts).
+* :class:`~repro.workloads.ethereum_workload.EthereumWorkload` — a synthetic
+  stand-in for the 500k-transaction, 2-month Ethereum trace: ~1% contract
+  creations, the rest split between token transfers and contract calls,
+  batched into ~12 KB client requests (≈ 50 transactions per batch).
+"""
+
+from repro.workloads.kv_workload import KVWorkload
+from repro.workloads.ethereum_workload import EthereumWorkload, SyntheticTrace
+
+__all__ = ["KVWorkload", "EthereumWorkload", "SyntheticTrace"]

@@ -1,0 +1,77 @@
+"""The key-value micro-benchmark workload (Section IX, "Measurements").
+
+Each client sequentially sends ``requests_per_client`` requests.  In the
+"no batching" mode a request is a single put of a random value to a random
+key; in the "batching" mode each request contains ``batch_size`` (64 in the
+paper) put operations.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List
+
+from repro.services.authenticated_kv import AuthenticatedKVStore
+from repro.services.interface import Operation
+
+
+@dataclass
+class KVWorkload:
+    """Key-value workload generator.
+
+    Parameters
+    ----------
+    requests_per_client:
+        How many requests each client issues (1000 in the paper; scaled down
+        for simulation benchmarks).
+    batch_size:
+        Number of put operations per request; 1 reproduces the "no batch" row
+        of Figure 2, 64 the "batch=64" row.
+    key_space:
+        Number of distinct keys.
+    value_size:
+        Size in bytes of each written value.
+    seed:
+        Workload randomness seed (independent of the simulator seed).
+    """
+
+    requests_per_client: int = 100
+    batch_size: int = 1
+    key_space: int = 10_000
+    value_size: int = 64
+    seed: int = 1
+
+    name: str = "kv"
+
+    def service_factory(self):
+        """Service each replica runs for this workload."""
+        return AuthenticatedKVStore()
+
+    def client_operations(self, client_id: int) -> List[List[Operation]]:
+        """The request sequence for one client.
+
+        Returns a list of requests; each request is a list of operations (one
+        operation for the unbatched mode).
+        """
+        rng = random.Random(self.seed * 1_000_003 + client_id)
+        requests = []
+        for request_index in range(self.requests_per_client):
+            ops = []
+            for op_index in range(self.batch_size):
+                key = f"key-{rng.randrange(self.key_space)}"
+                value = "v" * self.value_size
+                ops.append(
+                    AuthenticatedKVStore.make_put(
+                        key,
+                        value,
+                        client_id=client_id,
+                        timestamp=request_index * self.batch_size + op_index,
+                    )
+                )
+            requests.append(ops)
+        return requests
+
+    def describe(self) -> str:
+        mode = f"batch={self.batch_size}" if self.batch_size > 1 else "no batch"
+        return f"KV workload ({mode}, {self.requests_per_client} requests/client)"

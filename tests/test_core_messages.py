@@ -1,0 +1,118 @@
+"""Unit tests for protocol message types: sizes, identity and evidence lookup."""
+
+from repro.core.messages import (
+    CheckpointMsg,
+    ClientReply,
+    ClientRequest,
+    Commit,
+    ExecuteAck,
+    FullCommitProof,
+    FullCommitProofSlow,
+    FullExecuteProof,
+    NewView,
+    Prepare,
+    PrePrepare,
+    SignShare,
+    SignState,
+    SlotEvidence,
+    StateTransferRequest,
+    StateTransferResponse,
+    ViewChange,
+)
+from repro.core.keys import TrustedSetup
+from repro.core.config import SBFTConfig
+from repro.crypto.signatures import generate_keypair
+from repro.services.authenticated_kv import AuthenticatedKVStore
+
+CONFIG = SBFTConfig(f=1, c=0)
+SETUP = TrustedSetup(CONFIG, seed=2)
+KEY = generate_keypair("client-0")
+
+
+def _request(num_ops=1):
+    ops = tuple(AuthenticatedKVStore.make_put(f"k{i}", "v", client_id=0, timestamp=1) for i in range(num_ops))
+    return ClientRequest(client_id=0, timestamp=1, operations=ops, signature=KEY.sign("r"))
+
+
+def test_request_identity_and_size():
+    request = _request(3)
+    assert request.request_id == (0, 1)
+    assert request.size_bytes > 256  # signature + operations
+    assert _request(10).size_bytes > _request(1).size_bytes
+
+
+def test_every_message_reports_type_and_size():
+    share = SETUP.sigma.sign_share(0, "m")
+    combined = SETUP.pi.combine([SETUP.pi.sign_share(i, "m") for i in range(CONFIG.pi_threshold)])
+    request = _request()
+    pre_prepare = PrePrepare(1, 0, (request,), "digest", KEY.sign("pp"))
+    evidence = SlotEvidence(sequence=1, lm=("no-commit",), fm=("no-pre-prepare",))
+    view_change = ViewChange(1, 0, 0, None, (evidence,))
+    messages = [
+        request,
+        pre_prepare,
+        SignShare(1, 0, 0, "digest", share, share),
+        FullCommitProof(1, 0, "digest", combined),
+        Prepare(1, 0, "digest", combined),
+        Commit(1, 0, 0, "digest", share),
+        FullCommitProofSlow(1, 0, "digest", combined),
+        SignState(1, 0, "digest", share),
+        FullExecuteProof(1, "digest", combined),
+        ClientReply(1, 0, 1, (True,), 0, KEY.sign("reply")),
+        CheckpointMsg(1, 0, "digest", share),
+        view_change,
+        NewView(1, (view_change,)),
+        StateTransferRequest(0, 0),
+        StateTransferResponse(1, "digest", {"blocks": []}),
+    ]
+    seen_types = set()
+    for message in messages:
+        assert isinstance(message.msg_type, str) and message.msg_type
+        assert message.size_bytes > 0
+        seen_types.add(message.msg_type)
+    assert len(seen_types) == len(messages)
+
+
+def test_signature_sizes_match_the_paper():
+    """BLS shares/signatures are 33 bytes, RSA-style signatures 256 bytes."""
+    share = SETUP.sigma.sign_share(0, "m")
+    combined = SETUP.pi.combine([SETUP.pi.sign_share(i, "m") for i in range(CONFIG.pi_threshold)])
+    assert share.size_bytes == 33
+    assert combined.size_bytes == 33
+    assert KEY.sign("m").size_bytes == 256
+    # A full-commit-proof carries exactly one combined signature.
+    proof = FullCommitProof(1, 0, "d", combined)
+    assert proof.size_bytes < 150
+
+
+def test_sign_share_size_depends_on_carried_shares():
+    share = SETUP.sigma.sign_share(0, "m")
+    both = SignShare(1, 0, 0, "d", share, share)
+    only_tau = SignShare(1, 0, 0, "d", None, share)
+    assert both.size_bytes == only_tau.size_bytes + 33
+
+
+def test_execute_ack_includes_proof_size():
+    store = AuthenticatedKVStore()
+    op = AuthenticatedKVStore.make_put("k", "v")
+    store.execute_block(1, [op])
+    proof = store.prove(1, 0)
+    combined = SETUP.pi.combine([SETUP.pi.sign_share(i, "m") for i in range(CONFIG.pi_threshold)])
+    ack = ExecuteAck(1, 0, 1, 0, (True,), "digest", combined, proof)
+    assert ack.size_bytes > proof.size_bytes
+
+
+def test_slot_evidence_request_lookup():
+    request = _request()
+    evidence = SlotEvidence(
+        sequence=1,
+        lm=("no-commit",),
+        fm=("no-pre-prepare",),
+        requests_by_digest=(("digest-a", (request,)),),
+    )
+    assert evidence.requests_for("digest-a") == (request,)
+    assert evidence.requests_for("digest-b") is None
+    # Carried requests make the evidence (and the view-change message) bigger.
+    empty = SlotEvidence(sequence=1, lm=("no-commit",), fm=("no-pre-prepare",))
+    assert evidence.size_bytes > empty.size_bytes
+    assert ViewChange(1, 0, 0, None, (evidence,)).size_bytes > ViewChange(1, 0, 0, None, (empty,)).size_bytes

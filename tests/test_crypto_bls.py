@@ -1,0 +1,89 @@
+"""Unit tests for the mock group and BLS signatures."""
+
+import pytest
+
+from repro.crypto.bls import (
+    bls_aggregate,
+    bls_keygen,
+    bls_sign,
+    bls_verify,
+    bls_verify_aggregate,
+)
+from repro.crypto.mockgroup import DEFAULT_GROUP, GroupElement, MockGroup
+from repro.errors import CryptoError
+
+
+def test_group_addition_and_negation():
+    group = MockGroup()
+    a = group.element(10)
+    b = group.element(25)
+    assert (a + b).value == 35
+    assert (a - a).value == 0
+    assert (-a + a).value == 0
+
+
+def test_group_scaling_is_bilinear_under_pairing():
+    group = MockGroup()
+    g = group.generator
+    left = g.scale(6)
+    right = g.scale(7)
+    assert group.pairing(left, right) == group.pairing(g.scale(42), g)
+
+
+def test_pairing_rejects_mismatched_groups():
+    small = MockGroup(order=97)
+    with pytest.raises(CryptoError):
+        DEFAULT_GROUP.pairing(small.generator, DEFAULT_GROUP.generator)
+
+
+def test_lagrange_coefficients_reconstruct_secret():
+    group = MockGroup()
+    # Polynomial p(x) = 5 + 3x over the group order, threshold 2.
+    shares = {i: (5 + 3 * i) % group.order for i in (1, 2, 3)}
+    indices = [1, 3]
+    secret = sum(
+        shares[i] * group.lagrange_coefficient(i, indices) for i in indices
+    ) % group.order
+    assert secret == 5
+
+
+def test_element_encoding_is_33_bytes():
+    assert len(DEFAULT_GROUP.generator.encode()) == 33
+
+
+def test_bls_sign_verify_roundtrip():
+    key = bls_keygen(seed=1)
+    signature = bls_sign(key, "message")
+    assert bls_verify(key.public, "message", signature)
+    assert not bls_verify(key.public, "other message", signature)
+
+
+def test_bls_verify_fails_with_wrong_key():
+    key_a = bls_keygen(seed=1)
+    key_b = bls_keygen(seed=2)
+    signature = key_a.sign("m")
+    assert not bls_verify(key_b.public, "m", signature)
+
+
+def test_bls_keygen_deterministic():
+    assert bls_keygen(seed=9).secret == bls_keygen(seed=9).secret
+    assert bls_keygen(seed=9).secret != bls_keygen(seed=10).secret
+
+
+def test_bls_aggregate_verifies_against_combined_keys():
+    keys = [bls_keygen(seed=i) for i in range(4)]
+    signatures = [k.sign("shared") for k in keys]
+    aggregate = bls_aggregate(signatures, signer_ids=range(4))
+    assert bls_verify_aggregate([k.public for k in keys], "shared", aggregate)
+    # Leaving one key out must break verification.
+    assert not bls_verify_aggregate([k.public for k in keys[:-1]], "shared", aggregate)
+
+
+def test_bls_aggregate_rejects_empty():
+    with pytest.raises(CryptoError):
+        bls_aggregate([])
+
+
+def test_signature_size_matches_bls_encoding():
+    key = bls_keygen(seed=3)
+    assert key.sign("x").size_bytes == 33

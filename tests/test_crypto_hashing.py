@@ -1,0 +1,42 @@
+"""Unit tests for digest helpers."""
+
+from repro.crypto.hashing import block_digest, chain_digest, sha256_hex, sha256_int
+
+
+def test_sha256_hex_deterministic():
+    assert sha256_hex("a", 1, b"x") == sha256_hex("a", 1, b"x")
+    assert len(sha256_hex("a")) == 64
+
+
+def test_sha256_hex_distinguishes_argument_boundaries():
+    # ("ab", "c") must not collide with ("a", "bc").
+    assert sha256_hex("ab", "c") != sha256_hex("a", "bc")
+
+
+def test_sha256_hex_handles_many_types():
+    values = ["s", 5, -5, 3.14, True, False, None, [1, 2], (3, 4), {"k": "v"}, b"bytes"]
+    digests = {sha256_hex(v) for v in values}
+    assert len(digests) == len(values)
+
+
+def test_sha256_int_matches_hex():
+    assert sha256_int("x") == int(sha256_hex("x"), 16)
+
+
+def test_block_digest_depends_on_every_field():
+    base = block_digest(1, 0, ["op1", "op2"])
+    assert base != block_digest(2, 0, ["op1", "op2"])
+    assert base != block_digest(1, 1, ["op1", "op2"])
+    assert base != block_digest(1, 0, ["op1"])
+    assert base == block_digest(1, 0, ["op1", "op2"])
+
+
+def test_chain_digest_includes_previous_hash():
+    first = chain_digest(1, 0, ["op"], "genesis")
+    second = chain_digest(1, 0, ["op"], first)
+    assert first != second
+    assert chain_digest(1, 0, ["op"], "genesis") == first
+
+
+def test_dict_hash_is_order_independent():
+    assert sha256_hex({"a": 1, "b": 2}) == sha256_hex({"b": 2, "a": 1})

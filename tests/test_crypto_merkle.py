@@ -1,0 +1,104 @@
+"""Unit and property tests for Merkle trees and proofs."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.crypto.merkle import MerkleProof, MerkleTree, merkle_root
+from repro.errors import InvalidProof
+
+
+def test_empty_tree_has_stable_root():
+    assert MerkleTree().root == MerkleTree().root
+    assert len(MerkleTree()) == 0
+
+
+def test_single_leaf_proof():
+    tree = MerkleTree(["only"])
+    proof = tree.prove(0)
+    assert MerkleTree.verify(tree.root, "only", proof)
+    assert not MerkleTree.verify(tree.root, "other", proof)
+
+
+def test_proofs_verify_for_all_leaves():
+    values = [f"value-{i}" for i in range(7)]  # odd count exercises duplication
+    tree = MerkleTree(values)
+    for index, value in enumerate(values):
+        proof = tree.prove(index)
+        assert MerkleTree.verify(tree.root, value, proof)
+
+
+def test_proof_fails_for_wrong_value_or_wrong_position():
+    values = list(range(8))
+    tree = MerkleTree(values)
+    proof = tree.prove(3)
+    assert not MerkleTree.verify(tree.root, 4, proof)
+    other = tree.prove(4)
+    assert not MerkleTree.verify(tree.root, 3, other)
+
+
+def test_root_changes_when_leaf_changes():
+    tree = MerkleTree(["a", "b", "c"])
+    before = tree.root
+    tree.update(1, "B")
+    assert tree.root != before
+
+
+def test_append_and_extend_change_root():
+    tree = MerkleTree(["a"])
+    first = tree.root
+    index = tree.append("b")
+    assert index == 1
+    second = tree.root
+    tree.extend(["c", "d"])
+    assert len(tree) == 4
+    assert len({first, second, tree.root}) == 3
+
+
+def test_prove_out_of_range_raises():
+    tree = MerkleTree(["a"])
+    with pytest.raises(InvalidProof):
+        tree.prove(5)
+    with pytest.raises(InvalidProof):
+        tree.prove(-1)
+
+
+def test_order_matters():
+    assert merkle_root(["a", "b"]) != merkle_root(["b", "a"])
+
+
+def test_malformed_proof_fails_closed():
+    tree = MerkleTree(["a", "b"])
+    proof = tree.prove(0)
+    broken = MerkleProof(leaf_index=0, leaf_count=2, path=(("not-a-hash", True),))
+    assert not MerkleTree.verify(tree.root, "a", broken)
+    assert MerkleTree.verify(tree.root, "a", proof)
+
+
+@settings(max_examples=50, deadline=None)
+@given(st.lists(st.text(max_size=10), min_size=1, max_size=40), st.data())
+def test_property_every_leaf_proves_and_no_other_value_does(values, data):
+    tree = MerkleTree(values)
+    index = data.draw(st.integers(min_value=0, max_value=len(values) - 1))
+    proof = tree.prove(index)
+    assert MerkleTree.verify(tree.root, values[index], proof)
+    wrong = values[index] + "!"
+    assert not MerkleTree.verify(tree.root, wrong, proof)
+
+
+@settings(max_examples=50, deadline=None)
+@given(st.lists(st.integers(), min_size=1, max_size=30))
+def test_property_root_is_deterministic(values):
+    assert MerkleTree(values).root == MerkleTree(list(values)).root
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.lists(st.integers(), min_size=2, max_size=30), st.data())
+def test_property_swapping_two_leaves_changes_root(values, data):
+    i = data.draw(st.integers(min_value=0, max_value=len(values) - 1))
+    j = data.draw(st.integers(min_value=0, max_value=len(values) - 1))
+    swapped = list(values)
+    swapped[i], swapped[j] = swapped[j], swapped[i]
+    if swapped == values:
+        assert MerkleTree(values).root == MerkleTree(swapped).root
+    else:
+        assert MerkleTree(values).root != MerkleTree(swapped).root

@@ -1,0 +1,63 @@
+"""Unit tests for plain signatures and the crypto cost model."""
+
+import pytest
+
+from repro.crypto.costs import DEFAULT_COSTS, MAC_ONLY_COSTS, CryptoCosts
+from repro.crypto.signatures import generate_keypair
+from repro.errors import CryptoError
+
+
+def test_sign_verify_roundtrip():
+    key = generate_keypair("replica-1", seed=4)
+    signature = key.sign(("hello", 1))
+    assert key.verify_key.verify(("hello", 1), signature)
+    assert not key.verify_key.verify(("hello", 2), signature)
+
+
+def test_signature_bound_to_signer():
+    key_a = generate_keypair("a")
+    key_b = generate_keypair("b")
+    signature = key_a.sign("m")
+    assert not key_b.verify_key.verify("m", signature)
+
+
+def test_keypair_deterministic_per_seed():
+    assert generate_keypair("x", 1).key_id == generate_keypair("x", 1).key_id
+    assert generate_keypair("x", 1).key_id != generate_keypair("x", 2).key_id
+
+
+def test_empty_signer_rejected():
+    with pytest.raises(CryptoError):
+        generate_keypair("")
+
+
+def test_signature_size_matches_rsa2048():
+    key = generate_keypair("client-1")
+    assert key.sign("m").size_bytes == 256
+
+
+def test_cost_helpers_scale_with_share_count():
+    costs = DEFAULT_COSTS
+    assert costs.combine_cost(10) == pytest.approx(10 * costs.bls_combine_per_share)
+    assert costs.aggregate_cost(4) == pytest.approx(4 * costs.bls_aggregate_per_share)
+    assert costs.batch_verify_cost(0) == pytest.approx(costs.bls_batch_verify_per_share)
+
+
+def test_scaled_costs_multiply_every_field():
+    doubled = DEFAULT_COSTS.scaled(2.0)
+    assert doubled.rsa_sign == pytest.approx(2 * DEFAULT_COSTS.rsa_sign)
+    assert doubled.bls_verify_share == pytest.approx(2 * DEFAULT_COSTS.bls_verify_share)
+
+
+def test_mac_only_profile_is_cheaper_for_verification():
+    assert MAC_ONLY_COSTS.rsa_verify < DEFAULT_COSTS.rsa_verify
+    assert MAC_ONLY_COSTS.rsa_sign < DEFAULT_COSTS.rsa_sign
+
+
+def test_cost_model_reflects_paper_ratios():
+    """BLS signatures are slower to verify but much smaller than RSA; the
+    n-out-of-n aggregate is much cheaper than a threshold combine per share."""
+    costs = DEFAULT_COSTS
+    assert costs.bls_verify_combined > costs.rsa_verify
+    assert costs.bls_aggregate_per_share < costs.bls_combine_per_share
+    assert costs.rsa_sign > costs.bls_sign_share

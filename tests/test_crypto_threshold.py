@@ -1,0 +1,133 @@
+"""Unit and property tests for the threshold signature schemes."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.crypto.threshold import ThresholdDealer
+from repro.errors import CryptoError, InvalidSignatureShare
+
+
+@pytest.fixture(scope="module")
+def scheme():
+    return ThresholdDealer(num_signers=7, seed=3).deal("sigma", threshold=5)
+
+
+def test_dealer_rejects_bad_thresholds():
+    dealer = ThresholdDealer(num_signers=4, seed=0)
+    with pytest.raises(CryptoError):
+        dealer.deal("x", threshold=0)
+    with pytest.raises(CryptoError):
+        dealer.deal("x", threshold=5)
+    with pytest.raises(CryptoError):
+        ThresholdDealer(num_signers=0)
+
+
+def test_share_sign_and_robust_verify(scheme):
+    share = scheme.sign_share(2, "block-digest")
+    assert scheme.verify_share(share)
+    forged = scheme.forge_share(2, "block-digest")
+    assert not scheme.verify_share(forged)
+
+
+def test_share_from_unknown_signer_rejected(scheme):
+    with pytest.raises(CryptoError):
+        scheme.sign_share(99, "m")
+
+
+def test_combine_exact_threshold(scheme):
+    shares = [scheme.sign_share(i, "msg") for i in range(5)]
+    combined = scheme.combine(shares)
+    assert scheme.verify(combined)
+    assert scheme.verify_message(combined, "msg")
+    assert not scheme.verify_message(combined, "other")
+
+
+def test_combine_any_subset_gives_same_valid_signature(scheme):
+    subset_a = [scheme.sign_share(i, "msg") for i in (0, 1, 2, 3, 4)]
+    subset_b = [scheme.sign_share(i, "msg") for i in (2, 3, 4, 5, 6)]
+    sig_a = scheme.combine(subset_a)
+    sig_b = scheme.combine(subset_b)
+    # Threshold signatures are unique: any qualified subset yields the same value.
+    assert sig_a.point == sig_b.point
+    assert scheme.verify(sig_a) and scheme.verify(sig_b)
+
+
+def test_combine_too_few_shares_fails(scheme):
+    shares = [scheme.sign_share(i, "msg") for i in range(4)]
+    with pytest.raises(CryptoError):
+        scheme.combine(shares)
+
+
+def test_combine_rejects_invalid_share(scheme):
+    shares = [scheme.sign_share(i, "msg") for i in range(4)]
+    shares.append(scheme.forge_share(4, "msg"))
+    with pytest.raises(InvalidSignatureShare):
+        scheme.combine(shares)
+
+
+def test_combine_filtering_drops_bad_shares(scheme):
+    shares = [scheme.sign_share(i, "msg") for i in range(5)]
+    shares += [scheme.forge_share(i, "msg") for i in (5, 6)]
+    combined = scheme.combine_filtering(shares)
+    assert scheme.verify(combined)
+
+
+def test_combine_rejects_mixed_messages(scheme):
+    shares = [scheme.sign_share(i, "msg-a") for i in range(3)]
+    shares += [scheme.sign_share(i, "msg-b") for i in (3, 4)]
+    with pytest.raises(CryptoError):
+        scheme.combine(shares)
+
+
+def test_duplicate_shares_do_not_count_twice(scheme):
+    shares = [scheme.sign_share(0, "msg")] * 5
+    with pytest.raises(CryptoError):
+        scheme.combine(shares)
+
+
+def test_signature_rejected_under_other_scheme():
+    dealer = ThresholdDealer(num_signers=4, seed=1)
+    sigma = dealer.deal("sigma", 3)
+    tau = dealer.deal("tau", 3)
+    combined = sigma.combine([sigma.sign_share(i, "m") for i in range(3)])
+    assert not tau.verify(combined)
+
+
+def test_sbft_threshold_sizes():
+    """The three SBFT schemes (sigma/tau/pi) coexist over one replica set."""
+    f, c = 2, 1
+    n = 3 * f + 2 * c + 1
+    dealer = ThresholdDealer(num_signers=n, seed=5)
+    sigma = dealer.deal("sigma", 3 * f + c + 1)
+    tau = dealer.deal("tau", 2 * f + c + 1)
+    pi = dealer.deal("pi", f + 1)
+    for scheme in (sigma, tau, pi):
+        shares = [scheme.sign_share(i, "digest") for i in range(scheme.threshold)]
+        assert scheme.verify(scheme.combine(shares))
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    num_signers=st.integers(min_value=2, max_value=9),
+    data=st.data(),
+)
+def test_property_any_qualified_subset_verifies(num_signers, data):
+    threshold = data.draw(st.integers(min_value=1, max_value=num_signers))
+    message = data.draw(st.text(min_size=0, max_size=20))
+    subset = data.draw(
+        st.sets(st.integers(min_value=0, max_value=num_signers - 1), min_size=threshold)
+    )
+    scheme = ThresholdDealer(num_signers=num_signers, seed=11).deal("p", threshold)
+    shares = [scheme.sign_share(i, message) for i in sorted(subset)]
+    combined = scheme.combine(shares)
+    assert scheme.verify_message(combined, message)
+
+
+@settings(max_examples=25, deadline=None)
+@given(num_signers=st.integers(min_value=3, max_value=9), seed=st.integers(0, 1000))
+def test_property_below_threshold_never_combines(num_signers, seed):
+    threshold = num_signers  # strictest threshold
+    scheme = ThresholdDealer(num_signers=num_signers, seed=seed).deal("q", threshold)
+    shares = [scheme.sign_share(i, "m") for i in range(threshold - 1)]
+    with pytest.raises(CryptoError):
+        scheme.combine(shares)

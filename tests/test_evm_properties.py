@@ -1,0 +1,97 @@
+"""Property-based tests for the mini-EVM arithmetic and token invariants."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.evm.assembler import assemble
+from repro.evm.contracts import encode_call, token_contract
+from repro.evm.state import WorldState
+from repro.evm.transactions import Transaction, apply_transaction
+from repro.evm.vm import EVM, WORD, Message
+
+ALICE = "0x" + "aa" * 20
+CONTRACT = "0x" + "cc" * 20
+
+uint256 = st.integers(min_value=0, max_value=WORD - 1)
+
+
+def run_binary_op(mnemonic, a, b):
+    """Execute ``a <op> b`` with a on top of the stack (EVM convention)."""
+    code = assemble([
+        "PUSH32 0x%x" % b,
+        "PUSH32 0x%x" % a,
+        mnemonic,
+        "PUSH1 0x00", "MSTORE",
+        "PUSH1 0x20", "PUSH1 0x00", "RETURN",
+    ])
+    result = EVM(WorldState()).execute(Message(sender=ALICE, to=CONTRACT, gas=10_000), code=code)
+    assert result.success, result.error
+    return int.from_bytes(result.return_data, "big")
+
+
+@settings(max_examples=40, deadline=None)
+@given(uint256, uint256)
+def test_add_matches_modular_arithmetic(a, b):
+    assert run_binary_op("ADD", a, b) == (a + b) % WORD
+
+
+@settings(max_examples=40, deadline=None)
+@given(uint256, uint256)
+def test_sub_matches_modular_arithmetic(a, b):
+    assert run_binary_op("SUB", a, b) == (a - b) % WORD
+
+
+@settings(max_examples=40, deadline=None)
+@given(uint256, uint256)
+def test_mul_matches_modular_arithmetic(a, b):
+    assert run_binary_op("MUL", a, b) == (a * b) % WORD
+
+
+@settings(max_examples=40, deadline=None)
+@given(uint256, uint256)
+def test_div_matches_floor_division_with_zero_guard(a, b):
+    expected = 0 if b == 0 else a // b
+    assert run_binary_op("DIV", a, b) == expected
+
+
+@settings(max_examples=40, deadline=None)
+@given(uint256, uint256)
+def test_comparison_ops_agree_with_python(a, b):
+    assert run_binary_op("LT", a, b) == int(a < b)
+    assert run_binary_op("GT", a, b) == int(a > b)
+    assert run_binary_op("EQ", a, b) == int(a == b)
+
+
+@settings(max_examples=40, deadline=None)
+@given(uint256, uint256)
+def test_bitwise_ops_agree_with_python(a, b):
+    assert run_binary_op("AND", a, b) == a & b
+    assert run_binary_op("OR", a, b) == a | b
+    assert run_binary_op("XOR", a, b) == a ^ b
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    st.lists(
+        st.tuples(st.integers(min_value=1, max_value=20), st.integers(min_value=0, max_value=200)),
+        min_size=1,
+        max_size=12,
+    )
+)
+def test_token_total_supply_invariant(operations):
+    """Mints increase total supply; transfers never change it."""
+    state = WorldState()
+    state.add_balance(ALICE, 10**9)
+    address = apply_transaction(state, Transaction.create(ALICE, token_contract())).contract_address
+    alice_slot = int(ALICE, 16) & 0xFFFFFFFFFFFFFFFF
+
+    minted = 0
+    for slot, amount in operations:
+        apply_transaction(state, Transaction.call(ALICE, address, encode_call(1, alice_slot, amount)))
+        minted += amount
+        # Transfer (may fail on overdraft; supply must be unchanged either way).
+        apply_transaction(state, Transaction.call(ALICE, address, encode_call(2, slot, amount // 2)))
+        total = sum(
+            state.storage_load(address, s)
+            for s in {alice_slot, *[s for s, _ in operations]}
+        )
+        assert total == minted

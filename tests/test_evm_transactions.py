@@ -1,0 +1,127 @@
+"""Unit tests for ledger transactions and the reference contracts."""
+
+import pytest
+
+from repro.errors import InvalidTransaction
+from repro.evm.contracts import counter_contract, encode_call, storage_contract, token_contract
+from repro.evm.state import WorldState
+from repro.evm.transactions import Transaction, apply_transaction
+
+
+@pytest.fixture
+def state():
+    world = WorldState()
+    for who in ("0x" + "aa" * 20, "0x" + "bb" * 20):
+        world.add_balance(who, 1_000_000)
+    return world
+
+
+ALICE = "0x" + "aa" * 20
+BOB = "0x" + "bb" * 20
+
+
+def test_transaction_validation():
+    with pytest.raises(InvalidTransaction):
+        Transaction(kind="mint", sender=ALICE)
+    with pytest.raises(InvalidTransaction):
+        Transaction(kind="call", sender=ALICE)          # missing destination
+    with pytest.raises(InvalidTransaction):
+        Transaction(kind="create", sender=ALICE)        # missing code
+
+
+def test_transfer_moves_balance(state):
+    receipt = apply_transaction(state, Transaction.transfer(ALICE, BOB, 500))
+    assert receipt.success
+    assert state.get_balance(BOB) == 1_000_500
+    assert state.get_balance(ALICE) == 999_500
+
+
+def test_transfer_with_insufficient_funds_fails(state):
+    receipt = apply_transaction(state, Transaction.transfer(ALICE, BOB, 10**9))
+    assert not receipt.success
+    assert state.get_balance(BOB) == 1_000_000
+
+
+def test_create_deploys_code_at_derived_address(state):
+    tx = Transaction.create(ALICE, counter_contract())
+    receipt = apply_transaction(state, tx)
+    assert receipt.success
+    assert receipt.contract_address is not None
+    assert state.get_code(receipt.contract_address) == counter_contract()
+
+
+def test_create_addresses_are_unique_per_nonce(state):
+    first = apply_transaction(state, Transaction.create(ALICE, counter_contract()))
+    second = apply_transaction(state, Transaction.create(ALICE, counter_contract()))
+    assert first.contract_address != second.contract_address
+
+
+def test_counter_contract_increments(state):
+    address = apply_transaction(state, Transaction.create(ALICE, counter_contract())).contract_address
+    for expected in (1, 2, 3):
+        receipt = apply_transaction(state, Transaction.call(ALICE, address, encode_call(0)))
+        assert receipt.success
+        assert int.from_bytes(receipt.return_data, "big") == expected
+    assert state.storage_load(address, 0) == 3
+
+
+def test_storage_contract_store_and_load(state):
+    address = apply_transaction(state, Transaction.create(ALICE, storage_contract())).contract_address
+    store = apply_transaction(state, Transaction.call(ALICE, address, encode_call(1, 7, 1234)))
+    assert store.success
+    load = apply_transaction(state, Transaction.call(ALICE, address, encode_call(2, 7)))
+    assert int.from_bytes(load.return_data, "big") == 1234
+
+
+def test_token_contract_mint_transfer_balance(state):
+    address = apply_transaction(state, Transaction.create(ALICE, token_contract())).contract_address
+    alice_slot = int(ALICE, 16) & 0xFFFFFFFFFFFFFFFF
+
+    assert apply_transaction(state, Transaction.call(ALICE, address, encode_call(1, alice_slot, 100))).success
+    balance = apply_transaction(state, Transaction.call(ALICE, address, encode_call(3, alice_slot)))
+    assert int.from_bytes(balance.return_data, "big") == 100
+
+    # Transfer 40 units from Alice's slot to slot 9.
+    transfer = apply_transaction(state, Transaction.call(ALICE, address, encode_call(2, 9, 40)))
+    assert transfer.success
+    assert state.storage_load(address, alice_slot) == 60
+    assert state.storage_load(address, 9) == 40
+
+
+def test_token_contract_rejects_overdraft(state):
+    address = apply_transaction(state, Transaction.create(ALICE, token_contract())).contract_address
+    receipt = apply_transaction(state, Transaction.call(ALICE, address, encode_call(2, 9, 40)))
+    assert not receipt.success
+    assert state.storage_load(address, 9) == 0
+
+
+def test_call_with_value_transfers_balance(state):
+    address = apply_transaction(state, Transaction.create(ALICE, counter_contract())).contract_address
+    receipt = apply_transaction(state, Transaction.call(ALICE, address, encode_call(0), value=25))
+    assert receipt.success
+    assert state.get_balance(address) == 25
+
+
+def test_nonces_increase_per_sender(state):
+    assert state.get_nonce(ALICE) == 0
+    apply_transaction(state, Transaction.transfer(ALICE, BOB, 1))
+    apply_transaction(state, Transaction.transfer(ALICE, BOB, 1))
+    assert state.get_nonce(ALICE) == 2
+    assert state.get_nonce(BOB) == 0
+
+
+def test_transaction_size_estimate_grows_with_payload():
+    small = Transaction.call(ALICE, BOB, data=b"")
+    large = Transaction.call(ALICE, BOB, data=b"x" * 500)
+    assert large.size_bytes > small.size_bytes
+
+
+def test_receipts_are_deterministic(state):
+    other = WorldState()
+    other.add_balance(ALICE, 1_000_000)
+    other.add_balance(BOB, 1_000_000)
+    tx = Transaction.create(ALICE, token_contract())
+    receipt_a = apply_transaction(state, tx)
+    receipt_b = apply_transaction(other, tx)
+    assert receipt_a.contract_address == receipt_b.contract_address
+    assert receipt_a.gas_used == receipt_b.gas_used

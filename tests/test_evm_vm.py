@@ -1,0 +1,238 @@
+"""Unit tests for the mini-EVM interpreter."""
+
+import pytest
+
+from repro.evm.assembler import assemble, disassemble
+from repro.evm.opcodes import Op, OPCODES, opcode_name
+from repro.evm.state import WorldState
+from repro.evm.vm import EVM, Message
+from repro.errors import EVMError
+
+
+def run(code, data=b"", sender="0x" + "11" * 20, to="0x" + "22" * 20, state=None, gas=1_000_000, value=0):
+    state = state or WorldState()
+    vm = EVM(state)
+    message = Message(sender=sender, to=to, value=value, data=data, gas=gas)
+    return vm.execute(message, code=code), state
+
+
+def word(value):
+    return value.to_bytes(32, "big")
+
+
+def test_opcode_table_consistency():
+    for byte, info in OPCODES.items():
+        assert int(info.op) == byte
+        assert opcode_name(byte) == info.op.name
+    assert opcode_name(0xEE).startswith("UNKNOWN")
+
+
+def test_assembler_roundtrip():
+    code = assemble(["PUSH1 0x05", "PUSH1 0x03", "ADD", "STOP"])
+    assert disassemble(code) == ["PUSH1 0x5", "PUSH1 0x3", "ADD", "STOP"]
+
+
+def test_assembler_rejects_unknown_mnemonic_and_missing_operand():
+    with pytest.raises(EVMError):
+        assemble(["FROBNICATE"])
+    with pytest.raises(EVMError):
+        assemble(["PUSH1"])
+    with pytest.raises(EVMError):
+        assemble(["ADD 0x01"])
+    with pytest.raises(EVMError):
+        assemble(["PUSH2 @missing_label"])
+
+
+def test_arithmetic_and_return():
+    code = assemble([
+        "PUSH1 0x05", "PUSH1 0x07", "MUL",       # 35
+        "PUSH1 0x00", "MSTORE",
+        "PUSH1 0x20", "PUSH1 0x00", "RETURN",
+    ])
+    result, _ = run(code)
+    assert result.success
+    assert int.from_bytes(result.return_data, "big") == 35
+
+
+def test_division_by_zero_returns_zero():
+    code = assemble([
+        "PUSH1 0x00", "PUSH1 0x07", "DIV",
+        "PUSH1 0x00", "MSTORE",
+        "PUSH1 0x20", "PUSH1 0x00", "RETURN",
+    ])
+    result, _ = run(code)
+    assert int.from_bytes(result.return_data, "big") == 0
+
+
+def test_storage_persists_in_world_state():
+    code = assemble(["PUSH1 0x2A", "PUSH1 0x01", "SSTORE", "STOP"])
+    result, state = run(code)
+    assert result.success
+    assert state.storage_load("0x" + "22" * 20, 1) == 0x2A
+
+
+def test_sload_reads_previous_value():
+    state = WorldState()
+    state.storage_store("0x" + "22" * 20, 0, 99)
+    code = assemble([
+        "PUSH1 0x00", "SLOAD",
+        "PUSH1 0x00", "MSTORE",
+        "PUSH1 0x20", "PUSH1 0x00", "RETURN",
+    ])
+    result, _ = run(code, state=state)
+    assert int.from_bytes(result.return_data, "big") == 99
+
+
+def test_calldata_load_and_size():
+    code = assemble([
+        "PUSH1 0x00", "CALLDATALOAD",
+        "CALLDATASIZE", "ADD",
+        "PUSH1 0x00", "MSTORE",
+        "PUSH1 0x20", "PUSH1 0x00", "RETURN",
+    ])
+    result, _ = run(code, data=word(40))
+    assert int.from_bytes(result.return_data, "big") == 40 + 32
+
+
+def test_caller_and_callvalue():
+    code = assemble([
+        "CALLVALUE",
+        "PUSH1 0x00", "MSTORE",
+        "PUSH1 0x20", "PUSH1 0x00", "RETURN",
+    ])
+    result, _ = run(code, value=123)
+    assert int.from_bytes(result.return_data, "big") == 123
+
+
+def test_jump_and_jumpi():
+    code = assemble([
+        "PUSH1 0x01",
+        "PUSH2 @skip", "JUMPI",
+        "PUSH1 0xFF", "PUSH1 0x00", "MSTORE",   # skipped
+        ":skip",
+        "JUMPDEST",
+        "PUSH1 0x07", "PUSH1 0x00", "MSTORE",
+        "PUSH1 0x20", "PUSH1 0x00", "RETURN",
+    ])
+    result, _ = run(code)
+    assert int.from_bytes(result.return_data, "big") == 7
+
+
+def test_invalid_jump_target_fails():
+    code = assemble(["PUSH1 0x03", "JUMP", "STOP"])
+    result, _ = run(code)
+    assert not result.success
+    assert "jump" in result.error
+
+
+def test_revert_reports_failure_with_data():
+    code = assemble([
+        "PUSH1 0xAB", "PUSH1 0x00", "MSTORE",
+        "PUSH1 0x20", "PUSH1 0x00", "REVERT",
+    ])
+    result, _ = run(code)
+    assert not result.success
+    assert result.error == "revert"
+    assert int.from_bytes(result.return_data, "big") == 0xAB
+
+
+def test_out_of_gas():
+    code = assemble(["PUSH1 0x01", "PUSH1 0x02", "ADD", "STOP"])
+    result, _ = run(code, gas=3)
+    assert not result.success
+    assert "gas" in result.error.lower()
+    assert result.gas_used == 3
+
+
+def test_stack_underflow_fails():
+    result, _ = run(assemble(["ADD", "STOP"]))
+    assert not result.success
+    assert "underflow" in result.error
+
+
+def test_invalid_opcode_fails():
+    result, _ = run(bytes([0xEF]))
+    assert not result.success
+    assert "invalid opcode" in result.error
+
+
+def test_dup_and_swap():
+    code = assemble([
+        "PUSH1 0x01", "PUSH1 0x02",
+        "DUP2",                      # [1, 2, 1]
+        "SWAP1",                     # [1, 1, 2]
+        "SUB",                       # [1, 1]  (2 - 1)
+        "ADD",                       # [2]
+        "PUSH1 0x00", "MSTORE",
+        "PUSH1 0x20", "PUSH1 0x00", "RETURN",
+    ])
+    result, _ = run(code)
+    assert int.from_bytes(result.return_data, "big") == 2
+
+
+def test_logs_are_collected():
+    code = assemble([
+        "PUSH1 0x20", "PUSH1 0x00", "LOG0",
+        "STOP",
+    ])
+    result, _ = run(code)
+    assert result.success
+    assert len(result.logs) == 1
+
+
+def test_call_transfers_value_and_returns_data():
+    state = WorldState()
+    callee = "0x" + "33" * 20
+    caller_contract = "0x" + "22" * 20
+    state.set_code(callee, assemble([
+        "PUSH1 0x2A", "PUSH1 0x00", "MSTORE",
+        "PUSH1 0x20", "PUSH1 0x00", "RETURN",
+    ]))
+    state.add_balance(caller_contract, 100)
+    code = assemble([
+        # CALL(gas, to, value, in_off, in_len, out_off, out_len)
+        "PUSH1 0x20", "PUSH1 0x00",            # out_len, out_off
+        "PUSH1 0x00", "PUSH1 0x00",            # in_len, in_off
+        "PUSH1 0x05",                          # value
+        "PUSH32 0x" + "33" * 20,               # to
+        "PUSH4 0xFFFF",                        # gas
+        "CALL",
+        "PUSH1 0x00", "MLOAD", "ADD",          # success flag + returned 0x2A
+        "PUSH1 0x00", "MSTORE",
+        "PUSH1 0x20", "PUSH1 0x00", "RETURN",
+    ])
+    result, state = run(code, state=state)
+    assert result.success
+    assert int.from_bytes(result.return_data, "big") == 0x2A + 1
+    assert state.get_balance(callee) == 5
+    assert state.get_balance(caller_contract) == 95
+
+
+def test_call_to_empty_account_is_plain_transfer():
+    state = WorldState()
+    state.add_balance("0x" + "22" * 20, 10)
+    code = assemble([
+        "PUSH1 0x00", "PUSH1 0x00",
+        "PUSH1 0x00", "PUSH1 0x00",
+        "PUSH1 0x07",
+        "PUSH32 0x" + "44" * 20,
+        "PUSH4 0xFFFF",
+        "CALL",
+        "PUSH1 0x00", "MSTORE",
+        "PUSH1 0x20", "PUSH1 0x00", "RETURN",
+    ])
+    result, state = run(code, state=state)
+    assert int.from_bytes(result.return_data, "big") == 1
+    assert state.get_balance("0x" + "44" * 20) == 7
+
+
+def test_execution_is_deterministic():
+    code = assemble([
+        "PUSH1 0x05", "PUSH1 0x0A", "EXP",
+        "PUSH1 0x00", "MSTORE",
+        "PUSH1 0x20", "PUSH1 0x00", "RETURN",
+    ])
+    first, _ = run(code)
+    second, _ = run(code)
+    assert first.return_data == second.return_data
+    assert first.gas_used == second.gas_used

@@ -1,0 +1,150 @@
+"""Unit and property tests for the Merkle-authenticated KV store."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import InvalidProof
+from repro.services.authenticated_kv import AuthenticatedKVStore, GENESIS_DIGEST
+from repro.services.interface import OperationResult
+
+
+def _block(store, sequence, items):
+    ops = [AuthenticatedKVStore.make_put(k, v) for k, v in items]
+    results = store.execute_block(sequence, ops)
+    return ops, results
+
+
+def test_genesis_digest_before_any_block():
+    store = AuthenticatedKVStore()
+    assert store.digest() == GENESIS_DIGEST
+    assert store.executed_blocks == 0
+
+
+def test_execute_block_changes_digest_and_state():
+    store = AuthenticatedKVStore()
+    _block(store, 1, [("a", 1), ("b", 2)])
+    assert store.get("a") == 1
+    assert store.get("b") == 2
+    assert store.digest() != GENESIS_DIGEST
+    assert store.executed_blocks == 1
+
+
+def test_digests_are_deterministic_across_replicas():
+    store_a = AuthenticatedKVStore()
+    store_b = AuthenticatedKVStore()
+    for store in (store_a, store_b):
+        _block(store, 1, [("x", "1"), ("y", "2")])
+        _block(store, 2, [("x", "3")])
+    assert store_a.digest() == store_b.digest()
+    assert store_a.digest_at(1) == store_b.digest_at(1)
+
+
+def test_digest_depends_on_execution_order():
+    store_a = AuthenticatedKVStore()
+    store_b = AuthenticatedKVStore()
+    _block(store_a, 1, [("x", 1), ("y", 2)])
+    _block(store_b, 1, [("y", 2), ("x", 1)])
+    assert store_a.digest() != store_b.digest()
+
+
+def test_prove_and_verify_roundtrip():
+    store = AuthenticatedKVStore()
+    ops, results = _block(store, 1, [("a", 1), ("b", 2), ("c", 3)])
+    for position, op in enumerate(ops):
+        proof = store.prove(1, position)
+        assert store.verify(store.digest_at(1), op, results[position].value, 1, position, proof)
+
+
+def test_proof_remains_valid_after_later_blocks():
+    """The execute-ack property: proofs are anchored to d_s, not the tip."""
+    store = AuthenticatedKVStore()
+    ops, results = _block(store, 1, [("a", 1)])
+    _block(store, 2, [("b", 2)])
+    _block(store, 3, [("c", 3)])
+    proof = store.prove(1, 0)
+    assert store.verify(store.digest_at(1), ops[0], results[0].value, 1, 0, proof)
+    # ... but it does not verify against the tip digest.
+    assert not store.verify(store.digest(), ops[0], results[0].value, 1, 0, proof)
+
+
+def test_verify_rejects_wrong_value_operation_or_position():
+    store = AuthenticatedKVStore()
+    ops, results = _block(store, 1, [("a", 1), ("b", 2)])
+    proof = store.prove(1, 0)
+    digest = store.digest_at(1)
+    assert not store.verify(digest, ops[0], "wrong-value", 1, 0, proof)
+    assert not store.verify(digest, ops[1], results[0].value, 1, 0, proof)
+    assert not store.verify(digest, ops[0], results[0].value, 1, 1, proof)
+    assert not store.verify(digest, ops[0], results[0].value, 2, 0, proof)
+
+
+def test_verify_rejects_foreign_proof_type():
+    store = AuthenticatedKVStore()
+    ops, results = _block(store, 1, [("a", 1)])
+    proof = store.prove(1, 0)
+    hacked = type(proof)(sequence=1, position=0, digest=proof.digest, proof="not-a-proof")
+    assert not store.verify(store.digest_at(1), ops[0], results[0].value, 1, 0, hacked)
+
+
+def test_prove_unknown_block_or_position_raises():
+    store = AuthenticatedKVStore()
+    _block(store, 1, [("a", 1)])
+    with pytest.raises(InvalidProof):
+        store.prove(9, 0)
+    with pytest.raises(InvalidProof):
+        store.prove(1, 5)
+    with pytest.raises(InvalidProof):
+        store.digest_at(9)
+
+
+def test_result_for_returns_recorded_results():
+    store = AuthenticatedKVStore()
+    ops, results = _block(store, 1, [("a", 1), ("b", 2)])
+    assert store.result_for(1, 1).value == results[1].value
+
+
+def test_snapshot_restore_preserves_digest_chain_and_proofs():
+    store = AuthenticatedKVStore()
+    ops, results = _block(store, 1, [("a", 1)])
+    _block(store, 2, [("b", 2)])
+    snapshot = store.snapshot()
+
+    fresh = AuthenticatedKVStore()
+    fresh.restore(snapshot)
+    assert fresh.digest() == store.digest()
+    assert fresh.get("a") == 1
+    proof = fresh.prove(1, 0)
+    assert fresh.verify(fresh.digest_at(1), ops[0], results[0].value, 1, 0, proof)
+
+
+def test_journal_block_with_external_results():
+    """Services like the ledger execute elsewhere and journal afterwards."""
+    store = AuthenticatedKVStore()
+    op = AuthenticatedKVStore.make_put("k", "v")
+    result = OperationResult(value="external")
+    store.journal_block(5, [op], [result])
+    proof = store.prove(5, 0)
+    assert store.verify(store.digest_at(5), op, "external", 5, 0, proof)
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    st.lists(
+        st.lists(st.tuples(st.text(min_size=1, max_size=5), st.integers()), min_size=1, max_size=5),
+        min_size=1,
+        max_size=5,
+    ),
+    st.data(),
+)
+def test_property_any_executed_operation_is_provable(blocks, data):
+    store = AuthenticatedKVStore()
+    all_blocks = []
+    for sequence, items in enumerate(blocks, start=1):
+        ops, results = _block(store, sequence, items)
+        all_blocks.append((sequence, ops, results))
+    sequence, ops, results = data.draw(st.sampled_from(all_blocks))
+    position = data.draw(st.integers(min_value=0, max_value=len(ops) - 1))
+    proof = store.prove(sequence, position)
+    assert store.verify(
+        store.digest_at(sequence), ops[position], results[position].value, sequence, position, proof
+    )

@@ -1,0 +1,83 @@
+"""Unit tests for the plain key-value store service."""
+
+from repro.services.interface import Operation
+from repro.services.kvstore import KVOperation, KVStore
+
+
+def test_put_get_delete_cycle():
+    store = KVStore()
+    assert store.execute(KVOperation.put("k", "v")).value is True
+    assert store.execute(KVOperation.get("k")).value == "v"
+    assert store.execute(KVOperation.delete("k")).value is True
+    assert store.execute(KVOperation.get("k")).value is None
+    assert store.execute(KVOperation.delete("k")).value is False
+
+
+def test_query_is_read_only():
+    store = KVStore()
+    store.put("a", 1)
+    result = store.query(KVOperation.get("a"))
+    assert result.value == 1
+    assert len(store) == 1
+
+
+def test_query_rejects_writes():
+    store = KVStore()
+    result = store.query(KVOperation.put("a", 1))
+    assert not result.ok
+
+
+def test_execute_rejects_foreign_operations():
+    store = KVStore()
+    result = store.execute(Operation(kind="other", payload="junk"))
+    assert not result.ok
+    assert "not a KV operation" in result.error
+
+
+def test_unknown_action_rejected():
+    store = KVStore()
+    bad = Operation(kind="kv", payload=KVOperation("increment", "k"))
+    result = store.execute(bad)
+    assert not result.ok
+
+
+def test_execute_block_applies_in_order():
+    store = KVStore()
+    ops = [KVOperation.put("k", i) for i in range(5)]
+    results = store.execute_block(1, ops)
+    assert len(results) == 5
+    assert store.get("k") == 4
+
+
+def test_snapshot_restore_roundtrip():
+    store = KVStore()
+    store.put("a", [1, 2, 3])
+    store.put("b", {"nested": True})
+    snapshot = store.snapshot()
+    store.put("a", "overwritten")
+    store.restore(snapshot)
+    assert store.get("a") == [1, 2, 3]
+    assert store.get("b") == {"nested": True}
+
+
+def test_snapshot_is_deep_copy():
+    store = KVStore()
+    store.put("list", [1])
+    snapshot = store.snapshot()
+    store.get("list").append(2)
+    assert snapshot["list"] == [1]
+
+
+def test_execution_cost_includes_persistence():
+    cheap = KVStore(persist_cost_per_byte=0.0)
+    costly = KVStore(persist_cost_per_byte=1e-6)
+    op = KVOperation.put("k", "v" * 100)
+    assert costly.execution_cost(op) > cheap.execution_cost(op)
+
+
+def test_contains_and_keys():
+    store = KVStore()
+    store.put("x", 1)
+    assert "x" in store
+    assert "y" not in store
+    assert list(store.keys()) == ["x"]

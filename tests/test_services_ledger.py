@@ -1,0 +1,97 @@
+"""Unit tests for the smart-contract ledger service."""
+
+import pytest
+
+from repro.evm.contracts import counter_contract, encode_call
+from repro.evm.transactions import Transaction
+from repro.services.interface import Operation
+from repro.services.ledger import LedgerService, ledger_operation
+
+ALICE = "0x" + "aa" * 20
+BOB = "0x" + "bb" * 20
+
+
+@pytest.fixture
+def ledger():
+    service = LedgerService()
+    service.fund(ALICE, 1_000_000)
+    service.fund(BOB, 1_000_000)
+    return service
+
+
+def test_execute_transfer_operation(ledger):
+    result = ledger.execute(ledger_operation(Transaction.transfer(ALICE, BOB, 100)))
+    assert result.ok
+    assert ledger.world.get_balance(BOB) == 1_000_100
+
+
+def test_execute_rejects_non_transaction_payload(ledger):
+    result = ledger.execute(Operation(kind="ledger", payload="junk"))
+    assert not result.ok
+
+
+def test_balance_and_storage_queries(ledger):
+    receipt = ledger.apply(Transaction.create(ALICE, counter_contract()))
+    ledger.apply(Transaction.call(ALICE, receipt.contract_address, encode_call(0)))
+    balance = ledger.query(Operation(kind="query", payload={"query": "balance", "address": ALICE}))
+    assert balance.value == 1_000_000
+    storage = ledger.query(
+        Operation(kind="query", payload={"query": "storage", "address": receipt.contract_address, "slot": 0})
+    )
+    assert storage.value == 1
+    unknown = ledger.query(Operation(kind="query", payload={"query": "nonsense"}))
+    assert not unknown.ok
+
+
+def test_execute_block_journals_and_proves(ledger):
+    ops = [
+        ledger_operation(Transaction.transfer(ALICE, BOB, 10)),
+        ledger_operation(Transaction.transfer(BOB, ALICE, 5)),
+    ]
+    results = ledger.execute_block(1, ops)
+    assert all(r.ok for r in results)
+    digest = ledger.digest()
+    proof = ledger.prove(1, 0)
+    assert ledger.verify(digest, ops[0], results[0].value, 1, 0, proof)
+    assert not ledger.verify(digest, ops[0], {"tampered": True}, 1, 0, proof)
+
+
+def test_digest_identical_across_replicas():
+    def build():
+        service = LedgerService()
+        service.fund(ALICE, 10**6)
+        service.fund(BOB, 10**6)
+        service.execute_block(1, [ledger_operation(Transaction.transfer(ALICE, BOB, 42))])
+        return service
+
+    assert build().digest() == build().digest()
+
+
+def test_execution_cost_scales_with_gas_and_size(ledger):
+    cheap = ledger_operation(Transaction.transfer(ALICE, BOB, 1))
+    heavy = ledger_operation(Transaction.call(ALICE, BOB, data=b"x" * 4000, gas_limit=500_000))
+    assert ledger.execution_cost(heavy) > ledger.execution_cost(cheap)
+    assert ledger.execution_cost(Operation(kind="ledger", payload=None)) > 0
+
+
+def test_snapshot_restore_roundtrip(ledger):
+    ledger.execute_block(1, [ledger_operation(Transaction.transfer(ALICE, BOB, 77))])
+    snapshot = ledger.snapshot()
+
+    other = LedgerService()
+    other.restore(snapshot)
+    assert other.digest() == ledger.digest()
+    assert other.world.get_balance(BOB) == ledger.world.get_balance(BOB)
+
+
+def test_failed_transaction_reported_not_raised(ledger):
+    result = ledger.execute(ledger_operation(Transaction.transfer(ALICE, BOB, 10**12)))
+    assert not result.ok
+    assert result.value["success"] is False
+
+
+def test_receipts_recorded(ledger):
+    ledger.apply(Transaction.transfer(ALICE, BOB, 1))
+    ledger.apply(Transaction.create(ALICE, counter_contract()))
+    assert len(ledger.receipts) == 2
+    assert ledger.receipts[1].contract_address is not None

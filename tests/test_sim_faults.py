@@ -1,0 +1,92 @@
+"""Unit tests for fault plans and the fault injector."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.sim.events import Simulator
+from repro.sim.faults import FaultInjector, FaultPlan, FaultSpec
+from repro.sim.process import Process
+
+
+class Dummy(Process):
+    def __init__(self, sim, node_id):
+        super().__init__(sim, node_id)
+        self.byzantine = None
+
+    def on_message(self, message, src):  # pragma: no cover - not used
+        pass
+
+    def activate_byzantine(self, mode):
+        self.byzantine = mode
+
+
+def test_fault_spec_validation():
+    with pytest.raises(ConfigurationError):
+        FaultSpec(replica_id=0, kind="meltdown")
+    with pytest.raises(ConfigurationError):
+        FaultSpec(replica_id=0, kind="slow", slow_factor=0.5)
+
+
+def test_crash_first_plan():
+    plan = FaultPlan.crash_first(3)
+    assert plan.faulty_ids == {0, 1, 2}
+    assert len(plan) == 3
+
+
+def test_crash_backups_never_touches_replica_zero():
+    plan = FaultPlan.crash_backups(2, n=7)
+    assert 0 not in plan.faulty_ids
+    assert plan.faulty_ids == {6, 5}
+
+
+def test_plan_extend():
+    plan = FaultPlan.crash_first(1).extend(FaultPlan.slow([3], factor=4.0))
+    assert plan.faulty_ids == {0, 3}
+
+
+def test_injector_crashes_at_scheduled_time():
+    sim = Simulator()
+    replicas = {i: Dummy(sim, i) for i in range(3)}
+    injector = FaultInjector(sim, replicas)
+    injector.apply(FaultPlan.crash_first(1, at_time=0.5))
+    sim.run(until=0.4)
+    assert not replicas[0].crashed
+    sim.run(until=0.6)
+    assert replicas[0].crashed
+    assert not replicas[1].crashed
+
+
+def test_injector_slow_changes_speed_factor():
+    sim = Simulator()
+    replicas = {0: Dummy(sim, 0)}
+    FaultInjector(sim, replicas).apply(FaultPlan.slow([0], factor=7.0))
+    sim.run()
+    assert replicas[0].cpu.speed_factor == 7.0
+
+
+def test_injector_byzantine_uses_hook_when_available():
+    sim = Simulator()
+    replicas = {0: Dummy(sim, 0)}
+    FaultInjector(sim, replicas).apply(FaultPlan.byzantine([0], mode="equivocate"))
+    sim.run()
+    assert replicas[0].byzantine == "equivocate"
+    assert not replicas[0].crashed
+
+
+def test_injector_byzantine_degrades_to_crash_without_hook():
+    class NoHook(Process):
+        def on_message(self, message, src):  # pragma: no cover
+            pass
+
+    sim = Simulator()
+    replicas = {0: NoHook(sim, 0)}
+    FaultInjector(sim, replicas).apply(FaultPlan.byzantine([0]))
+    sim.run()
+    assert replicas[0].crashed
+
+
+def test_injector_rejects_unknown_replica():
+    sim = Simulator()
+    injector = FaultInjector(sim, {0: Dummy(sim, 0)})
+    with pytest.raises(ConfigurationError):
+        injector.apply(FaultPlan.crash_first(1, node_ids=[9]))
