@@ -1,0 +1,56 @@
+"""Scale sweep — throughput and wall-clock as the replica count grows.
+
+The first ``BENCH_*.json`` trajectory series: one fig2-style point per
+replication factor, recording simulated throughput *and* harness wall-clock
+(the quantity the hot-path work optimizes).  ``REPRO_BENCH_SCALE`` picks the
+sweep: ``small`` reaches n=25, ``medium`` n=49 and ``paper`` n=193 — the
+order of the paper's ~200-replica deployments.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from conftest import attach_rows
+from repro.experiments.scale_sweep import SWEEP_F_VALUES, run_scale_sweep
+
+
+def _sweep_name() -> str:
+    name = os.environ.get("REPRO_BENCH_SCALE", "small")
+    return name if name in SWEEP_F_VALUES else "small"
+
+
+@pytest.mark.parametrize("protocol", ["sbft-c0", "sbft-c8"])
+def test_scale_sweep(benchmark, protocol):
+    sweep = _sweep_name()
+
+    def run():
+        return run_scale_sweep(scale_name=sweep, protocols=[protocol])
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    attach_rows(benchmark, rows)
+
+    assert len(rows) == len(SWEEP_F_VALUES[sweep])
+    for row in rows:
+        assert row["completed_operations"] > 0, f"no progress at {row['label']}"
+    # Linear communication: messages grow with n, but the per-point run must
+    # still finish within the simulated deadline at every swept size.
+    ns = [row["n"] for row in rows]
+    assert ns == sorted(ns)
+
+
+def test_scale_sweep_deterministic():
+    """The sweep is a pure function of its seed (same rows, same numbers)."""
+    first = run_scale_sweep(scale_name="small", protocols=["sbft-c0"], f_values=(1, 2), seed=3)
+    second = run_scale_sweep(scale_name="small", protocols=["sbft-c0"], f_values=(1, 2), seed=3)
+    stable = [
+        {k: v for k, v in row.items() if not k.startswith("wall")}
+        for row in first
+    ]
+    stable_second = [
+        {k: v for k, v in row.items() if not k.startswith("wall")}
+        for row in second
+    ]
+    assert stable == stable_second

@@ -1,7 +1,8 @@
 """Legacy setup shim.
 
-The project is configured via pyproject.toml; this file exists so that
-editable installs work on environments without the ``wheel`` package
+The project is configured via pyproject.toml (src-layout package discovery
+and pytest settings live there); this file exists so that editable installs
+work on environments without the ``wheel`` package
 (``pip install -e . --no-use-pep517 --no-build-isolation``).
 """
 

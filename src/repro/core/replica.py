@@ -131,6 +131,29 @@ class SBFTReplica(Process):
         # Fault-injection behaviour (None = honest).
         self.byzantine_mode: Optional[str] = None
 
+        # Hot-path dispatch: type-keyed handler and verification-cost tables,
+        # built once here instead of a 15-branch isinstance chain per message.
+        # Message classes are final (frozen dataclasses), so exact-type lookup
+        # is equivalent to the old isinstance cascade.
+        self._handlers = {
+            ClientRequest: self._on_client_request,
+            PrePrepare: self._on_pre_prepare,
+            SignShare: self._on_sign_share,
+            FullCommitProof: self._on_full_commit_proof,
+            Prepare: self._on_prepare,
+            Commit: self._on_commit,
+            FullCommitProofSlow: self._on_full_commit_proof_slow,
+            SignState: self._on_sign_state,
+            FullExecuteProof: self._on_full_execute_proof,
+            CheckpointMsg: self._on_checkpoint,
+            StableCheckpoint: self._on_stable_checkpoint,
+            ViewChange: self._on_view_change,
+            NewView: self._on_new_view,
+            StateTransferRequest: self._on_state_transfer_request,
+            StateTransferResponse: self._on_state_transfer_response,
+        }
+        self._cost_table = self._build_cost_table(costs)
+
         # Statistics.
         self.stats = {
             "blocks_proposed": 0,
@@ -220,59 +243,57 @@ class SBFTReplica(Process):
         cost = self._message_cost(message)
         self.compute(cost, self._dispatch, message, src)
 
+    def _build_cost_table(self, costs: CryptoCosts) -> Dict[type, Any]:
+        """Precompute per-type verification-cost functions (hot path)."""
+        per_share = costs.bls_batch_verify_per_share
+        combined = costs.bls_verify_combined
+        rsa_verify = costs.rsa_verify
+        hash_op = costs.hash_op
+
+        def constant(value: float):
+            return lambda message: value
+
+        def pre_prepare_cost(message: PrePrepare) -> float:
+            return rsa_verify * (1 + len(message.requests)) + hash_op
+
+        def sign_share_cost(message: SignShare) -> float:
+            shares = (1 if message.sigma_share else 0) + (1 if message.tau_share else 0)
+            return per_share * shares
+
+        def view_change_cost(message: ViewChange) -> float:
+            return combined + hash_op * max(1, len(message.slots))
+
+        def new_view_cost(message: NewView) -> float:
+            return combined * max(1, len(message.view_changes))
+
+        return {
+            ClientRequest: constant(rsa_verify),
+            PrePrepare: pre_prepare_cost,
+            SignShare: sign_share_cost,
+            Commit: constant(per_share),
+            SignState: constant(per_share),
+            CheckpointMsg: constant(per_share),
+            FullCommitProof: constant(combined),
+            FullCommitProofSlow: constant(combined),
+            Prepare: constant(combined),
+            FullExecuteProof: constant(combined),
+            StableCheckpoint: constant(combined),
+            ClientReply: constant(rsa_verify),
+            ViewChange: view_change_cost,
+            NewView: new_view_cost,
+        }
+
     def _message_cost(self, message: Any) -> float:
         """Verification cost charged before processing a message."""
-        costs = self.costs
-        if isinstance(message, ClientRequest):
-            return costs.rsa_verify
-        if isinstance(message, PrePrepare):
-            return costs.rsa_verify * (1 + len(message.requests)) + costs.hash_op
-        if isinstance(message, SignShare):
-            shares = (1 if message.sigma_share else 0) + (1 if message.tau_share else 0)
-            return costs.bls_batch_verify_per_share * shares
-        if isinstance(message, (Commit, SignState, CheckpointMsg)):
-            return costs.bls_batch_verify_per_share
-        if isinstance(message, (FullCommitProof, FullCommitProofSlow, Prepare, FullExecuteProof, StableCheckpoint)):
-            return costs.bls_verify_combined
-        if isinstance(message, ClientReply):
-            return costs.rsa_verify
-        if isinstance(message, ViewChange):
-            return costs.bls_verify_combined + costs.hash_op * max(1, len(message.slots))
-        if isinstance(message, NewView):
-            return costs.bls_verify_combined * max(1, len(message.view_changes))
-        return costs.hash_op
+        cost_fn = self._cost_table.get(type(message))
+        if cost_fn is None:
+            return self.costs.hash_op
+        return cost_fn(message)
 
     def _dispatch(self, message: Any, src: int) -> None:
-        if isinstance(message, ClientRequest):
-            self._on_client_request(message, src)
-        elif isinstance(message, PrePrepare):
-            self._on_pre_prepare(message, src)
-        elif isinstance(message, SignShare):
-            self._on_sign_share(message, src)
-        elif isinstance(message, FullCommitProof):
-            self._on_full_commit_proof(message, src)
-        elif isinstance(message, Prepare):
-            self._on_prepare(message, src)
-        elif isinstance(message, Commit):
-            self._on_commit(message, src)
-        elif isinstance(message, FullCommitProofSlow):
-            self._on_full_commit_proof_slow(message, src)
-        elif isinstance(message, SignState):
-            self._on_sign_state(message, src)
-        elif isinstance(message, FullExecuteProof):
-            self._on_full_execute_proof(message, src)
-        elif isinstance(message, CheckpointMsg):
-            self._on_checkpoint(message, src)
-        elif isinstance(message, StableCheckpoint):
-            self._on_stable_checkpoint(message, src)
-        elif isinstance(message, ViewChange):
-            self._on_view_change(message, src)
-        elif isinstance(message, NewView):
-            self._on_new_view(message, src)
-        elif isinstance(message, StateTransferRequest):
-            self._on_state_transfer_request(message, src)
-        elif isinstance(message, StateTransferResponse):
-            self._on_state_transfer_response(message, src)
+        handler = self._handlers.get(type(message))
+        if handler is not None:
+            handler(message, src)
 
     # ==================================================================
     # Client requests and primary batching

@@ -13,30 +13,93 @@ from typing import Any, Iterable, Union
 Bytes = Union[bytes, bytearray, memoryview]
 
 
+def _encode_str(value: str) -> bytes:
+    return value.encode("utf-8")
+
+
+def _encode_bool(value: bool) -> bytes:
+    return b"\x01" if value else b"\x00"
+
+
+def _encode_int(value: int) -> bytes:
+    return value.to_bytes((value.bit_length() + 8) // 8 or 1, "big", signed=True)
+
+
+def _encode_float(value: float) -> bytes:
+    return repr(value).encode("utf-8")
+
+
+def _encode_none(value: None) -> bytes:
+    return b"\x00none"
+
+
+def _encode_sequence(value: Any) -> bytes:
+    out = bytearray()
+    for item in value:
+        part = _to_bytes(item)
+        out += len(part).to_bytes(4, "big")
+        out += part
+    return bytes(out)
+
+
+def _encode_dict(value: dict) -> bytes:
+    return _to_bytes(sorted((str(k), _to_bytes(v)) for k, v in value.items()))
+
+
+#: Exact-type fast path for the canonical encoder (the hot inner loop of every
+#: digest).  Subclasses (which ``type()`` dispatch misses) fall back to the
+#: isinstance chain below, which produces identical bytes.
+_ENCODERS = {
+    bytes: bytes,
+    bytearray: bytes,
+    memoryview: bytes,
+    str: _encode_str,
+    bool: _encode_bool,
+    int: _encode_int,
+    float: _encode_float,
+    type(None): _encode_none,
+    list: _encode_sequence,
+    tuple: _encode_sequence,
+    dict: _encode_dict,
+}
+
+
 def _to_bytes(value: Any) -> bytes:
     """Canonical byte encoding for the values we hash."""
+    encoder = _ENCODERS.get(type(value))
+    if encoder is not None:
+        return encoder(value)
     if isinstance(value, (bytes, bytearray, memoryview)):
         return bytes(value)
     if isinstance(value, str):
         return value.encode("utf-8")
     if isinstance(value, bool):
-        return b"\x01" if value else b"\x00"
+        return _encode_bool(value)
     if isinstance(value, int):
-        return value.to_bytes((value.bit_length() + 8) // 8 or 1, "big", signed=True)
+        return _encode_int(value)
     if isinstance(value, float):
-        return repr(value).encode("utf-8")
-    if value is None:
-        return b"\x00none"
+        return _encode_float(value)
     if isinstance(value, (list, tuple)):
-        parts = [_to_bytes(v) for v in value]
-        out = bytearray()
-        for part in parts:
-            out += len(part).to_bytes(4, "big")
-            out += part
-        return bytes(out)
+        return _encode_sequence(value)
     if isinstance(value, dict):
-        return _to_bytes(sorted((str(k), _to_bytes(v)) for k, v in value.items()))
+        return _encode_dict(value)
     return repr(value).encode("utf-8")
+
+
+def memo_key(value: Any) -> Any:
+    """Type-tagged memo key for caches over :func:`sha256_hex` results.
+
+    Python equality conflates ``1``, ``1.0`` and ``True`` (same hash, equal),
+    but the canonical encoding distinguishes int from float, so a memo keyed
+    on the raw value could return the digest of a different encoding.  Tagging
+    every scalar with its exact type (recursing into tuples, the only hashable
+    container we hash) keeps cache hits canonical-encoding-exact.  Unhashable
+    values surface as ``TypeError`` at lookup, which callers treat as a cache
+    bypass.
+    """
+    if type(value) is tuple:
+        return (tuple, tuple(memo_key(item) for item in value))
+    return (type(value), value)
 
 
 def sha256_hex(*parts: Any) -> str:

@@ -13,20 +13,44 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, List, Optional, Sequence, Tuple
 
-from repro.crypto.hashing import sha256_hex
+from repro.crypto.hashing import memo_key, sha256_hex
 from repro.errors import InvalidProof
 
 _LEAF_PREFIX = "merkle-leaf"
 _NODE_PREFIX = "merkle-node"
 _EMPTY_ROOT = sha256_hex("merkle-empty")
 
+#: Every replica journals the same block and therefore builds the same tree;
+#: memoizing the pure leaf/node hashes makes that work once-per-cluster instead
+#: of once-per-replica.  Cleared wholesale at the limit (pure recomputation).
+_HASH_MEMO_LIMIT = 1 << 16
+_leaf_memo: dict = {}
+_node_memo: dict = {}
+
 
 def _leaf_hash(index: int, value: Any) -> str:
-    return sha256_hex(_LEAF_PREFIX, index, value)
+    key = (index, memo_key(value))
+    try:
+        cached = _leaf_memo.get(key)
+    except TypeError:  # unhashable leaf value: compute directly
+        return sha256_hex(_LEAF_PREFIX, index, value)
+    if cached is None:
+        cached = sha256_hex(_LEAF_PREFIX, index, value)
+        if len(_leaf_memo) >= _HASH_MEMO_LIMIT:
+            _leaf_memo.clear()
+        _leaf_memo[key] = cached
+    return cached
 
 
 def _node_hash(left: str, right: str) -> str:
-    return sha256_hex(_NODE_PREFIX, left, right)
+    key = (left, right)
+    cached = _node_memo.get(key)
+    if cached is None:
+        cached = sha256_hex(_NODE_PREFIX, left, right)
+        if len(_node_memo) >= _HASH_MEMO_LIMIT:
+            _node_memo.clear()
+        _node_memo[key] = cached
+    return cached
 
 
 @dataclass(frozen=True)

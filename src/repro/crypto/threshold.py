@@ -20,7 +20,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional
 
-from repro.crypto.hashing import sha256_int
+from repro.crypto.hashing import memo_key, sha256_int
 from repro.crypto.mockgroup import DEFAULT_GROUP, GroupElement, MockGroup
 from repro.errors import CryptoError, InvalidSignature, InvalidSignatureShare
 
@@ -61,6 +61,10 @@ class ThresholdScheme:
     mirroring a PKI + trusted-setup deployment.
     """
 
+    #: Entries kept per memo table before it is wholesale cleared; verification
+    #: is pure, so clearing only costs recomputation, never correctness.
+    CACHE_LIMIT = 1 << 16
+
     def __init__(
         self,
         name: str,
@@ -82,12 +86,36 @@ class ThresholdScheme:
         self.verification_keys = dict(verification_keys)
         self._secret_shares = dict(secret_shares)
         self.group = group
+        # Memo tables.  A scheme instance is shared by every replica of a
+        # deployment (public data), so hashing a slot's sign-message once and
+        # verifying a broadcast combined signature once serves the whole
+        # cluster.  All memoized functions are pure, so results are identical
+        # with or without the cache.  Keys go through
+        # :func:`repro.crypto.hashing.memo_key` so that values Python
+        # considers equal but the canonical encoding distinguishes (``1`` vs
+        # ``1.0``) never share a cache entry.
+        self._hash_memo: Dict[object, GroupElement] = {}
+        self._share_memo: Dict[object, bool] = {}
+        self._combined_memo: Dict[object, bool] = {}
 
     # ------------------------------------------------------------------
     # Signing / share verification
     # ------------------------------------------------------------------
-    def _hash(self, message: object) -> GroupElement:
+    def _hash_uncached(self, message: object) -> GroupElement:
         return self.group.hash_to_group(sha256_int("thresh", self.name, message))
+
+    def _hash(self, message: object) -> GroupElement:
+        key = memo_key(message)
+        try:
+            cached = self._hash_memo.get(key)
+        except TypeError:  # unhashable message: fall back to direct computation
+            return self._hash_uncached(message)
+        if cached is None:
+            cached = self._hash_uncached(message)
+            if len(self._hash_memo) >= self.CACHE_LIMIT:
+                self._hash_memo.clear()
+            self._hash_memo[key] = cached
+        return cached
 
     def sign_share(self, signer_id: int, message: object) -> SignatureShare:
         """Produce signer ``signer_id``'s share on ``message``."""
@@ -103,8 +131,7 @@ class ThresholdScheme:
         bogus = self._hash(("forged", message)).scale(signer_id + 7)
         return SignatureShare(self.name, signer_id, message, bogus)
 
-    def verify_share(self, share: SignatureShare) -> bool:
-        """Robustness check: ``e(share, G) == e(H(m), vk_i)``."""
+    def _verify_share_uncached(self, share: SignatureShare) -> bool:
         if share.scheme_name != self.name:
             return False
         vk = self.verification_keys.get(share.signer_id)
@@ -112,6 +139,20 @@ class ThresholdScheme:
             return False
         h = self._hash(share.message)
         return self.group.pairing(share.point, self.group.generator) == self.group.pairing(h, vk)
+
+    def verify_share(self, share: SignatureShare) -> bool:
+        """Robustness check: ``e(share, G) == e(H(m), vk_i)``."""
+        key = (share.scheme_name, share.signer_id, memo_key(share.message), share.point)
+        try:
+            cached = self._share_memo.get(key)
+        except TypeError:
+            return self._verify_share_uncached(share)
+        if cached is None:
+            cached = self._verify_share_uncached(share)
+            if len(self._share_memo) >= self.CACHE_LIMIT:
+                self._share_memo.clear()
+            self._share_memo[key] = cached
+        return cached
 
     # ------------------------------------------------------------------
     # Combination / verification
@@ -152,8 +193,7 @@ class ThresholdScheme:
         valid = [s for s in shares if self.verify_share(s)]
         return self.combine(valid, verify=False)
 
-    def verify(self, signature: CombinedSignature) -> bool:
-        """Verify a combined signature under the scheme public key."""
+    def _verify_uncached(self, signature: CombinedSignature) -> bool:
         if signature.scheme_name != self.name:
             return False
         h = self._hash(signature.message)
@@ -161,6 +201,20 @@ class ThresholdScheme:
             self.group.pairing(signature.point, self.group.generator)
             == self.group.pairing(h, self.public_key)
         )
+
+    def verify(self, signature: CombinedSignature) -> bool:
+        """Verify a combined signature under the scheme public key."""
+        key = (signature.scheme_name, memo_key(signature.message), signature.point)
+        try:
+            cached = self._combined_memo.get(key)
+        except TypeError:
+            return self._verify_uncached(signature)
+        if cached is None:
+            cached = self._verify_uncached(signature)
+            if len(self._combined_memo) >= self.CACHE_LIMIT:
+                self._combined_memo.clear()
+            self._combined_memo[key] = cached
+        return cached
 
     def verify_message(self, signature: CombinedSignature, message: object) -> bool:
         """Verify a combined signature and that it covers ``message``."""

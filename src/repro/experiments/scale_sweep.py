@@ -1,0 +1,170 @@
+"""Scale sweep — throughput and harness wall-clock as n grows (BENCH baseline).
+
+SBFT's headline claims are about *scale*: collector-based communication keeps
+message complexity linear, so throughput should degrade gracefully as the
+replica count grows from n=4 toward the paper's 200-replica deployments
+(Section IX).  This sweep runs one fig2-style point (fixed client count, KV
+workload, continent WAN) per replication factor and records, for each point:
+
+* simulated throughput / latency (the protocol-level result), and
+* *wall-clock seconds per simulated event* (the harness-level result the
+  hot-path optimizations target — dispatch tables, heap compaction, memoized
+  crypto).
+
+``emit_benchmark_json`` writes the rows in a ``pytest-benchmark
+--benchmark-json``-compatible shape so trajectory tooling can track
+``BENCH_*.json`` files across PRs; run it from the CLI::
+
+    PYTHONPATH=src python -m repro.experiments.scale_sweep --scale small --output BENCH_scale_sweep.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import sys
+import time
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from repro.errors import ConfigurationError
+from repro.experiments.harness import ExperimentScale, format_table, result_row, run_kv_point
+from repro.version import __version__
+
+#: Replication factors per sweep scale.  ``f`` values translate to
+#: ``n = 3f + 1`` replicas: small sweeps 4..25 replicas, medium to 49, and
+#: ``paper`` reaches n=193 — the order of the paper's ~200-replica deployment.
+SWEEP_F_VALUES: Dict[str, Sequence[int]] = {
+    "small": (1, 2, 4, 8),
+    "medium": (1, 2, 4, 8, 16),
+    "paper": (1, 4, 16, 32, 64),
+}
+
+
+def sweep_scale(name: str, f: int) -> ExperimentScale:
+    """A fig2-style point scale for one replication factor."""
+    return ExperimentScale(
+        name=f"scale-sweep-{name}-f{f}",
+        f=f,
+        c_for_sbft_c8=max(1, f // 8),
+        client_counts=(16,),
+        requests_per_client=4,
+        block_batch=16,
+        max_sim_time=600.0,
+    )
+
+
+def run_scale_sweep(
+    scale_name: str = "small",
+    protocols: Sequence[str] = ("sbft-c0",),
+    f_values: Optional[Sequence[int]] = None,
+    num_clients: int = 16,
+    kv_batch: int = 8,
+    topology: str = "continent",
+    seed: int = 0,
+) -> List[Dict]:
+    """Run the sweep; returns one row per (protocol, f) point.
+
+    Each row carries both simulated metrics (throughput, latency) and harness
+    metrics (wall-clock, events, wall-clock per event).
+    """
+    if f_values is None:
+        f_values = SWEEP_F_VALUES.get(scale_name, SWEEP_F_VALUES["small"])
+    rows: List[Dict] = []
+    for protocol in protocols:
+        for f in f_values:
+            scale = sweep_scale(scale_name, f)
+            n = scale.n_c8 if protocol == "sbft-c8" else scale.n_c0
+            started = time.perf_counter()
+            result = run_kv_point(
+                protocol,
+                scale,
+                num_clients=num_clients,
+                kv_batch=kv_batch,
+                topology=topology,
+                seed=seed,
+                label=f"{protocol}/f={f}/n={n}",
+            )
+            wall = time.perf_counter() - started
+            row = result_row(
+                result,
+                protocol=protocol,
+                f=f,
+                n=n,
+                clients=num_clients,
+                wall_seconds=round(wall, 4),
+                sim_seconds=round(result.sim_time, 4),
+            )
+            row["wall_us_per_message"] = round(1e6 * wall / max(1, result.network_messages), 2)
+            rows.append(row)
+    return rows
+
+
+def emit_benchmark_json(rows: List[Dict], scale_name: str) -> Dict:
+    """Wrap sweep rows in a ``--benchmark-json``-compatible document."""
+    benchmarks = []
+    for row in rows:
+        wall = float(row["wall_seconds"])
+        benchmarks.append(
+            {
+                "group": "scale-sweep",
+                "name": f"scale_sweep[{row['label']}]",
+                "fullname": f"benchmarks/scale_sweep.py::scale_sweep[{row['label']}]",
+                "params": {"protocol": row["protocol"], "f": row["f"], "n": row["n"]},
+                "stats": {
+                    "min": wall,
+                    "max": wall,
+                    "mean": wall,
+                    "stddev": 0.0,
+                    "median": wall,
+                    "rounds": 1,
+                    "iterations": 1,
+                    "ops": (1.0 / wall) if wall > 0 else 0.0,
+                },
+                "extra_info": dict(row),
+            }
+        )
+    return {
+        "machine_info": {
+            "python_version": platform.python_version(),
+            "platform": platform.platform(),
+            "repro_version": __version__,
+        },
+        "commit_info": {"scale": scale_name},
+        "benchmarks": benchmarks,
+    }
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--scale", default="small", choices=sorted(SWEEP_F_VALUES))
+    parser.add_argument("--protocols", nargs="+", default=["sbft-c0"])
+    parser.add_argument("--clients", type=int, default=16)
+    parser.add_argument("--kv-batch", type=int, default=8)
+    parser.add_argument("--topology", default="continent")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--output", default=None, help="write --benchmark-json-style output here")
+    args = parser.parse_args(argv)
+
+    try:
+        rows = run_scale_sweep(
+            scale_name=args.scale,
+            protocols=args.protocols,
+            num_clients=args.clients,
+            kv_batch=args.kv_batch,
+            topology=args.topology,
+            seed=args.seed,
+        )
+    except ConfigurationError as error:
+        parser.error(str(error))
+    print(format_table(rows))
+    if args.output:
+        document = emit_benchmark_json(rows, args.scale)
+        with open(args.output, "w", encoding="utf-8") as handle:
+            json.dump(document, handle, indent=1, sort_keys=True)
+        print(f"wrote {args.output}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

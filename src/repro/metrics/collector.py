@@ -42,16 +42,20 @@ class LatencyRecorder:
     def completed_operations(self) -> int:
         return self._operations
 
-    def percentile(self, fraction: float) -> float:
-        if not self._samples:
+    @staticmethod
+    def _percentile_of(ordered: List[float], fraction: float) -> float:
+        if not ordered:
             return 0.0
-        ordered = sorted(self._samples)
         index = min(len(ordered) - 1, max(0, math.ceil(fraction * len(ordered)) - 1))
         return ordered[index]
 
+    def percentile(self, fraction: float) -> float:
+        return self._percentile_of(sorted(self._samples), fraction)
+
     def summary(self, duration: float, label: str = "") -> "RunResult":
         """Summarize into a :class:`RunResult` over ``duration`` seconds."""
-        mean = sum(self._samples) / len(self._samples) if self._samples else 0.0
+        ordered = sorted(self._samples)  # sorted once, shared by the percentiles
+        mean = sum(ordered) / len(ordered) if ordered else 0.0
         return RunResult(
             label=label,
             duration=duration,
@@ -59,8 +63,8 @@ class LatencyRecorder:
             completed_operations=self._operations,
             throughput=self._operations / duration if duration > 0 else 0.0,
             mean_latency=mean,
-            median_latency=self.percentile(0.5),
-            p99_latency=self.percentile(0.99),
+            median_latency=self._percentile_of(ordered, 0.5),
+            p99_latency=self._percentile_of(ordered, 0.99),
         )
 
 

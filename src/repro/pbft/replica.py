@@ -125,6 +125,29 @@ class PBFTReplica(Process):
             "view_changes": 0,
         }
 
+        # Type-keyed dispatch and verification-cost tables (hot path); message
+        # classes are final, so exact-type lookup matches the old isinstance chain.
+        self._handlers = {
+            ClientRequest: self._on_client_request,
+            PrePrepare: self._on_pre_prepare,
+            PbftPrepare: self._on_prepare,
+            PbftCommit: self._on_commit,
+            PbftCheckpoint: self._on_checkpoint,
+            PbftViewChange: self._on_view_change,
+            PbftNewView: self._on_new_view,
+        }
+        rsa_verify = costs.rsa_verify
+        hash_op = costs.hash_op
+        self._cost_table = {
+            ClientRequest: lambda m: rsa_verify,
+            PrePrepare: lambda m: rsa_verify * (1 + len(m.requests)) + hash_op,
+            PbftPrepare: lambda m: rsa_verify,
+            PbftCommit: lambda m: rsa_verify,
+            PbftCheckpoint: lambda m: rsa_verify,
+            PbftViewChange: lambda m: rsa_verify,
+            PbftNewView: lambda m: rsa_verify,
+        }
+
     # ------------------------------------------------------------------
     # Helpers
     # ------------------------------------------------------------------
@@ -176,32 +199,15 @@ class PBFTReplica(Process):
         self.compute(self._message_cost(message), self._dispatch, message, src)
 
     def _message_cost(self, message: Any) -> float:
-        costs = self.costs
-        if isinstance(message, ClientRequest):
-            return costs.rsa_verify
-        if isinstance(message, PrePrepare):
-            return costs.rsa_verify * (1 + len(message.requests)) + costs.hash_op
-        if isinstance(message, (PbftPrepare, PbftCommit, PbftCheckpoint)):
-            return costs.rsa_verify
-        if isinstance(message, (PbftViewChange, PbftNewView)):
-            return costs.rsa_verify
-        return costs.hash_op
+        cost_fn = self._cost_table.get(type(message))
+        if cost_fn is None:
+            return self.costs.hash_op
+        return cost_fn(message)
 
     def _dispatch(self, message: Any, src: int) -> None:
-        if isinstance(message, ClientRequest):
-            self._on_client_request(message, src)
-        elif isinstance(message, PrePrepare):
-            self._on_pre_prepare(message, src)
-        elif isinstance(message, PbftPrepare):
-            self._on_prepare(message, src)
-        elif isinstance(message, PbftCommit):
-            self._on_commit(message, src)
-        elif isinstance(message, PbftCheckpoint):
-            self._on_checkpoint(message, src)
-        elif isinstance(message, PbftViewChange):
-            self._on_view_change(message, src)
-        elif isinstance(message, PbftNewView):
-            self._on_new_view(message, src)
+        handler = self._handlers.get(type(message))
+        if handler is not None:
+            handler(message, src)
 
     # ------------------------------------------------------------------
     # Client requests and batching (mirrors the SBFT primary)

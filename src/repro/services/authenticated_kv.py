@@ -32,7 +32,7 @@ import copy
 from dataclasses import dataclass
 from typing import Any, Dict, List, Optional, Sequence
 
-from repro.crypto.hashing import sha256_hex
+from repro.crypto.hashing import memo_key, sha256_hex
 from repro.crypto.merkle import MerkleProof, MerkleTree
 from repro.errors import InvalidProof
 from repro.services.interface import (
@@ -69,14 +69,43 @@ class KVProof:
         return 96 + self.entry_proof.size_bytes
 
 
+#: Every replica executes the same decision blocks over the same ``Operation``
+#: objects, so these pure digests are recomputed n times per block; a shared
+#: memo collapses that to once per cluster.  Cleared wholesale at the limit —
+#: only recomputation is at stake, never correctness.
+_DIGEST_MEMO_LIMIT = 1 << 16
+_operation_digest_memo: Dict[Any, str] = {}
+_result_digest_memo: Dict[Any, str] = {}
+
+
 def _operation_digest(operation: Operation) -> str:
-    return sha256_hex("op", operation.kind, operation.client_id, operation.timestamp, operation.payload)
+    key = (operation.kind, operation.client_id, operation.timestamp, memo_key(operation.payload))
+    try:
+        cached = _operation_digest_memo.get(key)
+    except TypeError:  # unhashable payload: compute directly
+        return sha256_hex("op", operation.kind, operation.client_id, operation.timestamp, operation.payload)
+    if cached is None:
+        cached = sha256_hex("op", operation.kind, operation.client_id, operation.timestamp, operation.payload)
+        if len(_operation_digest_memo) >= _DIGEST_MEMO_LIMIT:
+            _operation_digest_memo.clear()
+        _operation_digest_memo[key] = cached
+    return cached
 
 
 def _result_digest(result: OperationResult) -> str:
     # Only the return value is committed: it is what the client receives in an
     # execute-ack and checks against the proof (Section V-A).
-    return sha256_hex("result", result.value)
+    key = memo_key(result.value)
+    try:
+        cached = _result_digest_memo.get(key)
+    except TypeError:
+        return sha256_hex("result", result.value)
+    if cached is None:
+        cached = sha256_hex("result", result.value)
+        if len(_result_digest_memo) >= _DIGEST_MEMO_LIMIT:
+            _result_digest_memo.clear()
+        _result_digest_memo[key] = cached
+    return cached
 
 
 def _entry_leaf(entry: JournalEntry) -> tuple:

@@ -3,6 +3,16 @@
 The simulator is a plain priority queue of ``(time, sequence, callback)``
 entries.  The sequence number gives deterministic FIFO ordering for events
 scheduled at the same instant, which keeps runs reproducible for a fixed seed.
+
+Cancelled events are lazily removed: :meth:`Event.cancel` only marks the
+entry, and the simulator skips it when its time arrives.  Protocol timers
+(client retries, batch timers, per-request view-change timers) churn
+constantly on long runs, so the simulator additionally *compacts* the heap
+once cancelled entries dominate it — otherwise the heap grows without bound
+and every push/pop pays ``log`` of the garbage, not of the live work.
+Compaction preserves execution order exactly: events are totally ordered by
+``(time, seq)``, so rebuilding the heap from the live entries pops the same
+sequence of callbacks as before.
 """
 
 from __future__ import annotations
@@ -18,22 +28,33 @@ class Event:
     """A scheduled callback.
 
     Events are returned by :meth:`Simulator.schedule` so callers can cancel
-    them (e.g. protocol timers).  A cancelled event stays in the heap but is
-    skipped when popped.
+    them (e.g. protocol timers).  A cancelled event is skipped when popped and
+    reclaimed by the owning simulator's next heap compaction.
     """
 
-    __slots__ = ("time", "seq", "callback", "args", "cancelled")
+    __slots__ = ("time", "seq", "callback", "args", "cancelled", "owner")
 
-    def __init__(self, time: float, seq: int, callback: Callable[..., None], args: tuple):
+    def __init__(
+        self,
+        time: float,
+        seq: int,
+        callback: Callable[..., None],
+        args: tuple,
+        owner: Optional["Simulator"] = None,
+    ):
         self.time = time
         self.seq = seq
         self.callback = callback
         self.args = args
         self.cancelled = False
+        self.owner = owner
 
     def cancel(self) -> None:
         """Mark the event so it is skipped when its time arrives."""
-        self.cancelled = True
+        if not self.cancelled:
+            self.cancelled = True
+            if self.owner is not None:
+                self.owner._note_cancelled()
 
     def __lt__(self, other: "Event") -> bool:
         return (self.time, self.seq) < (other.time, other.seq)
@@ -55,12 +76,18 @@ class Simulator:
         that a run is a pure function of its seed.
     """
 
+    #: Compaction never triggers below this many cancelled entries, so small
+    #: simulations keep the cheap lazy-deletion behaviour.
+    COMPACT_MIN_CANCELLED = 64
+
     def __init__(self, seed: int = 0):
         self.now: float = 0.0
         self.rng = random.Random(seed)
         self._heap: list[Event] = []
         self._seq = 0
         self._events_processed = 0
+        self._cancelled = 0
+        self._compactions = 0
         self._stopped = False
 
     # ------------------------------------------------------------------
@@ -70,7 +97,7 @@ class Simulator:
         """Schedule ``callback(*args)`` to run ``delay`` seconds from now."""
         if delay < 0:
             raise SimulationError(f"cannot schedule an event in the past (delay={delay})")
-        event = Event(self.now + delay, self._seq, callback, args)
+        event = Event(self.now + delay, self._seq, callback, args, owner=self)
         self._seq += 1
         heapq.heappush(self._heap, event)
         return event
@@ -82,6 +109,25 @@ class Simulator:
     def stop(self) -> None:
         """Request that :meth:`run` return after the current event."""
         self._stopped = True
+
+    # ------------------------------------------------------------------
+    # Cancelled-event compaction
+    # ------------------------------------------------------------------
+    def _note_cancelled(self) -> None:
+        """Called by :meth:`Event.cancel`; compacts once garbage dominates."""
+        self._cancelled += 1
+        if (
+            self._cancelled >= self.COMPACT_MIN_CANCELLED
+            and self._cancelled * 2 >= len(self._heap)
+        ):
+            self._compact()
+
+    def _compact(self) -> None:
+        """Drop cancelled entries and re-heapify the live ones."""
+        self._heap = [event for event in self._heap if not event.cancelled]
+        heapq.heapify(self._heap)
+        self._cancelled = 0
+        self._compactions += 1
 
     # ------------------------------------------------------------------
     # Execution
@@ -118,11 +164,16 @@ class Simulator:
             event = self._heap[0]
             if event.cancelled:
                 heapq.heappop(self._heap)
+                event.owner = None
+                self._cancelled -= 1
                 continue
             if until is not None and event.time > until:
                 self.now = until
                 break
             heapq.heappop(self._heap)
+            # The event has left the heap: a late cancel() must not count it
+            # toward heap garbage (it would corrupt live_events / compaction).
+            event.owner = None
             self.now = event.time
             event.callback(*event.args)
             processed += 1
@@ -138,8 +189,27 @@ class Simulator:
 
     @property
     def pending_events(self) -> int:
-        """Number of events still queued (including cancelled ones)."""
+        """Number of heap entries, including cancelled ones not yet compacted.
+
+        Progress/termination heuristics should use :attr:`live_events`; this
+        property reflects raw heap occupancy (useful for memory accounting).
+        """
         return len(self._heap)
+
+    @property
+    def live_events(self) -> int:
+        """Number of events still queued that will actually fire."""
+        return len(self._heap) - self._cancelled
+
+    @property
+    def cancelled_events(self) -> int:
+        """Cancelled entries currently awaiting compaction or skip-on-pop."""
+        return self._cancelled
+
+    @property
+    def compactions(self) -> int:
+        """Number of heap compactions performed (observability for tests)."""
+        return self._compactions
 
     @property
     def events_processed(self) -> int:
@@ -147,4 +217,7 @@ class Simulator:
         return self._events_processed
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
-        return f"Simulator(now={self.now:.6f}, pending={len(self._heap)})"
+        return (
+            f"Simulator(now={self.now:.6f}, live={self.live_events}, "
+            f"pending={len(self._heap)})"
+        )

@@ -1,0 +1,87 @@
+"""Importable helpers shared by the test suite.
+
+These live outside ``conftest.py`` so test modules can ``from helpers import
+...`` unambiguously: ``conftest`` modules are imported by pytest under the
+bare name ``conftest``, and when both ``tests/`` and ``benchmarks/`` are
+collected from the repo root the name resolves to whichever directory pytest
+visited first.  Fixtures stay in ``tests/conftest.py``.
+"""
+
+from __future__ import annotations
+
+from repro.protocols.cluster import build_cluster
+from repro.workloads.kv_workload import KVWorkload
+
+
+def run_small_cluster(
+    protocol: str,
+    f: int = 1,
+    c=None,
+    num_clients: int = 2,
+    requests_per_client: int = 6,
+    kv_batch: int = 2,
+    batch_size: int = 2,
+    topology: str = "lan",
+    fault_plan=None,
+    config_overrides=None,
+    max_sim_time: float = 120.0,
+    seed: int = 0,
+):
+    """Build and run a small cluster; returns (cluster, result)."""
+    overrides = {
+        "fast_path_timeout": 0.05,
+        "batch_timeout": 0.01,
+        "view_change_timeout": 1.0,
+        "client_retry_timeout": 1.5,
+    }
+    overrides.update(config_overrides or {})
+    cluster = build_cluster(
+        protocol,
+        f=f,
+        c=c,
+        num_clients=num_clients,
+        topology=topology,
+        batch_size=batch_size,
+        seed=seed,
+        fault_plan=fault_plan,
+        config_overrides=overrides,
+    )
+    workload = KVWorkload(requests_per_client=requests_per_client, batch_size=kv_batch, seed=seed + 1)
+    result = cluster.run(workload, max_sim_time=max_sim_time)
+    return cluster, result
+
+
+def executed_histories(cluster):
+    """Per-replica executed history: list of (sequence, digest) for committed slots.
+
+    Used by safety assertions: all correct replicas must agree on a prefix.
+    """
+    histories = {}
+    for replica_id, replica in cluster.replicas.items():
+        if replica.crashed:
+            continue
+        history = []
+        log = getattr(replica, "log", None)
+        if log is not None:
+            for sequence in log.sequences():
+                slot = log.peek(sequence)
+                if slot is not None and slot.executed:
+                    history.append((sequence, slot.digest))
+        else:  # PBFT replica keeps a plain dict
+            for sequence in sorted(replica._slots):
+                slot = replica._slots[sequence]
+                if slot.executed:
+                    history.append((sequence, slot.digest))
+        histories[replica_id] = history
+    return histories
+
+
+def assert_agreement(cluster):
+    """Assert all correct replicas executed the same blocks for each sequence."""
+    histories = executed_histories(cluster)
+    by_sequence = {}
+    for replica_id, history in histories.items():
+        for sequence, digest in history:
+            by_sequence.setdefault(sequence, set()).add(digest)
+    for sequence, digests in by_sequence.items():
+        assert len(digests) == 1, f"replicas disagree at sequence {sequence}: {digests}"

@@ -2,7 +2,7 @@
 
 import pytest
 
-from conftest import assert_agreement, run_small_cluster
+from helpers import assert_agreement, run_small_cluster
 from repro.errors import EVMError
 from repro.evm.state import WorldState
 

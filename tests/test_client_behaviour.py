@@ -2,7 +2,7 @@
 
 import pytest
 
-from conftest import run_small_cluster
+from helpers import run_small_cluster
 from repro.core.client import SBFTClient
 from repro.core.config import SBFTConfig
 from repro.core.keys import TrustedSetup

@@ -2,7 +2,7 @@
 
 import pytest
 
-from conftest import assert_agreement, run_small_cluster
+from helpers import assert_agreement, run_small_cluster
 from repro.errors import ConfigurationError
 from repro.protocols.cluster import build_cluster
 from repro.protocols.registry import PAPER_ORDER, get_protocol, protocol_names
@@ -77,6 +77,26 @@ def test_smart_contract_workload_end_to_end(protocol):
     ledger = next(iter(cluster.replicas.values())).service
     assert ledger.world.get_nonce(workload.trace.accounts[0]) >= 0
     assert len(ledger.receipts) >= 120
+
+
+@pytest.mark.parametrize("topology", ["continent", "world"])
+def test_wan_topologies_reach_agreement(topology):
+    """The paper's WAN deployments: agreement and full completion hold when
+    replicas are spread over 5 (continent) or 15 (world) regions."""
+    cluster, result = run_small_cluster(
+        "sbft-c0",
+        f=2,
+        num_clients=3,
+        requests_per_client=4,
+        topology=topology,
+        max_sim_time=240.0,
+        config_overrides={"fast_path_timeout": 0.5, "client_retry_timeout": 5.0},
+    )
+    assert result.run.completed_requests == 12
+    assert_agreement(cluster)
+    # Every replica executed every block (no stragglers left behind).
+    executed = {replica.last_executed for replica in cluster.replicas.values()}
+    assert len(executed) == 1
 
 
 def test_world_topology_has_higher_latency_than_continent():

@@ -1,0 +1,192 @@
+"""Regression tests for the simulation hot path.
+
+Covers the three hot-path invariants introduced by the performance overhaul:
+
+* the event heap stays bounded under heavy timer churn (cancelled-event
+  compaction),
+* compaction never changes execution order (events are totally ordered by
+  ``(time, seq)``),
+* the dispatch-table refactor is behaviour-preserving: a fixed seed produces
+  identical replica ``stats`` and committed sequences run-over-run.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from helpers import assert_agreement, executed_histories, run_small_cluster
+from repro.sim.events import Simulator
+
+
+# ----------------------------------------------------------------------
+# Heap compaction
+# ----------------------------------------------------------------------
+def test_heavy_timer_churn_keeps_heap_bounded():
+    """10k schedule/cancel cycles must not accumulate 10k heap entries."""
+    sim = Simulator(seed=1)
+    high_water = 0
+    for i in range(10_000):
+        event = sim.schedule(1000.0 + i, lambda: None)
+        event.cancel()
+        high_water = max(high_water, sim.pending_events)
+    # Lazy deletion alone would leave all 10k cancelled entries in the heap.
+    assert high_water <= 2 * Simulator.COMPACT_MIN_CANCELLED
+    assert sim.compactions > 0
+    assert sim.live_events == 0
+
+
+def test_live_events_excludes_cancelled():
+    sim = Simulator()
+    keep = [sim.schedule(1.0, lambda: None) for _ in range(5)]
+    drop = [sim.schedule(2.0, lambda: None) for _ in range(3)]
+    for event in drop:
+        event.cancel()
+    assert sim.live_events == 5
+    assert sim.pending_events == sim.live_events + sim.cancelled_events
+    assert keep  # silence unused warning
+
+
+def test_compaction_preserves_execution_order():
+    """Popping after a forced compaction yields the same (time, seq) order."""
+    sim = Simulator(seed=2)
+    fired = []
+    expected = []
+    events = []
+    for i in range(500):
+        delay = ((i * 37) % 100) / 100.0 + 0.001
+        events.append((delay, i, sim.schedule(delay, fired.append, (delay, i))))
+    # Cancel two of every three events, enough to cross the compaction
+    # threshold (garbage must reach half the heap above the floor).
+    cancelled = set()
+    for index, (_, i, event) in enumerate(events):
+        if index % 3 != 0:
+            event.cancel()
+            cancelled.add(i)
+    assert sim.compactions > 0
+    expected = sorted(
+        ((delay, i) for delay, i, _ in events if i not in cancelled),
+        key=lambda pair: (pair[0], pair[1]),
+    )
+    sim.run()
+    assert fired == expected
+
+
+def test_cluster_run_with_retry_churn_keeps_garbage_subdominant():
+    """A run with constant client-retry and batch-timer churn must never let
+    cancelled entries dominate the heap (the pre-compaction leak)."""
+    cluster, result = run_small_cluster(
+        "sbft-c0",
+        f=1,
+        num_clients=3,
+        requests_per_client=20,
+        kv_batch=2,
+        batch_size=2,
+        config_overrides={
+            # Short timers: every completed request cancels a retry timer and
+            # every proposed block cancels a batch timer.
+            "batch_timeout": 0.005,
+            "client_retry_timeout": 0.5,
+        },
+        max_sim_time=240.0,
+    )
+    assert result.run.completed_requests == 60
+    assert_agreement(cluster)
+    sim = cluster.sim
+    # The compaction invariant: garbage is below the floor or below half the heap.
+    assert (
+        sim.cancelled_events < Simulator.COMPACT_MIN_CANCELLED
+        or 2 * sim.cancelled_events < sim.pending_events
+    )
+    # Plenty of timers churned in this run; without compaction-on-cancel the
+    # heap would have accumulated hundreds of dead entries.
+    assert sim.pending_events < 10 * Simulator.COMPACT_MIN_CANCELLED
+
+
+def test_cancel_after_fire_does_not_corrupt_accounting():
+    """Cancelling an event that already fired must not count as heap garbage."""
+    sim = Simulator()
+    fired = sim.schedule(0.1, lambda: None)
+    live = sim.schedule(5.0, lambda: None)
+    sim.run(until=1.0)
+    fired.cancel()  # late cancel: the event left the heap when it executed
+    assert sim.cancelled_events == 0
+    assert sim.live_events == 1
+    live.cancel()
+    assert sim.live_events == 0
+
+
+def test_digest_memo_distinguishes_equal_but_distinct_values():
+    """1 and 1.0 are == in Python but encode differently; the digest memo
+    must never hand one the other's cached digest."""
+    from repro.crypto.hashing import sha256_hex
+    from repro.services.authenticated_kv import _result_digest
+    from repro.services.interface import OperationResult
+
+    int_digest = _result_digest(OperationResult(value=1))
+    float_digest = _result_digest(OperationResult(value=1.0))
+    bool_digest = _result_digest(OperationResult(value=True))
+    assert int_digest == sha256_hex("result", 1)
+    assert float_digest == sha256_hex("result", 1.0)
+    assert bool_digest == sha256_hex("result", True)
+    assert int_digest != float_digest
+    # Nested containers are keyed type-exactly too.
+    nested_int = _result_digest(OperationResult(value=(1, "x")))
+    nested_float = _result_digest(OperationResult(value=(1.0, "x")))
+    assert nested_int != nested_float
+
+
+# ----------------------------------------------------------------------
+# Dispatch-table behaviour preservation
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("protocol", ["sbft-c0", "sbft-c8", "pbft"])
+def test_fixed_seed_runs_are_identical(protocol):
+    """Same seed, same stats, same committed sequences (dispatch refactor)."""
+
+    def run_once():
+        c = 1 if protocol == "sbft-c8" else None
+        cluster, result = run_small_cluster(
+            protocol, f=1, c=c, num_clients=2, requests_per_client=6, seed=11
+        )
+        return (
+            {rid: dict(replica.stats) for rid, replica in cluster.replicas.items()},
+            executed_histories(cluster),
+            result.network_messages,
+            cluster.sim.events_processed,
+        )
+
+    first = run_once()
+    second = run_once()
+    assert first == second
+
+
+def test_message_cost_table_matches_formulas(sim, network, small_config, setup):
+    """The precomputed cost table charges exactly the documented formulas."""
+    from repro.core.messages import ClientRequest, PrePrepare, SignShare
+    from repro.core.replica import SBFTReplica
+    from repro.services.kvstore import KVStore
+
+    replica = SBFTReplica(
+        sim=sim,
+        network=network,
+        node_id=0,
+        config=small_config,
+        keys=setup.replica_keys(0),
+        service=KVStore(),
+    )
+    costs = replica.costs
+    request = ClientRequest(client_id=0, timestamp=1, operations=(), signature=None)
+    assert replica._message_cost(request) == costs.rsa_verify
+
+    pre_prepare = PrePrepare(sequence=1, view=0, requests=(request, request), digest="d", primary_signature=None)
+    assert replica._message_cost(pre_prepare) == pytest.approx(
+        costs.rsa_verify * 3 + costs.hash_op
+    )
+
+    share = setup.sigma.sign_share(0, ("sign", 1, 0, "d"))
+    both = SignShare(sequence=1, view=0, replica_id=0, digest="d", sigma_share=share, tau_share=share)
+    tau_only = SignShare(sequence=1, view=0, replica_id=0, digest="d", sigma_share=None, tau_share=share)
+    assert replica._message_cost(both) == pytest.approx(2 * costs.bls_batch_verify_per_share)
+    assert replica._message_cost(tau_only) == pytest.approx(costs.bls_batch_verify_per_share)
+
+    # Unknown message types fall back to a hash-op charge.
+    assert replica._message_cost(object()) == costs.hash_op

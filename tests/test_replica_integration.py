@@ -7,7 +7,7 @@ wire) as well as client-visible outcomes.
 
 import pytest
 
-from conftest import assert_agreement, run_small_cluster
+from helpers import assert_agreement, run_small_cluster
 from repro.sim.faults import FaultPlan
 
 
