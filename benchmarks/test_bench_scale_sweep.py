@@ -41,16 +41,23 @@ def test_scale_sweep(benchmark, protocol):
     assert ns == sorted(ns)
 
 
+def _stable(rows):
+    """Strip the host-timing columns (wall/cpu clocks vary run to run)."""
+    return [
+        {k: v for k, v in row.items() if not k.startswith(("wall", "cpu"))}
+        for row in rows
+    ]
+
+
 def test_scale_sweep_deterministic():
     """The sweep is a pure function of its seed (same rows, same numbers)."""
     first = run_scale_sweep(scale_name="small", protocols=["sbft-c0"], f_values=(1, 2), seed=3)
     second = run_scale_sweep(scale_name="small", protocols=["sbft-c0"], f_values=(1, 2), seed=3)
-    stable = [
-        {k: v for k, v in row.items() if not k.startswith("wall")}
-        for row in first
-    ]
-    stable_second = [
-        {k: v for k, v in row.items() if not k.startswith("wall")}
-        for row in second
-    ]
-    assert stable == stable_second
+    assert _stable(first) == _stable(second)
+
+
+def test_scale_sweep_parallel_jobs_match_serial():
+    """--jobs N must produce rows identical to serial execution."""
+    serial = run_scale_sweep(scale_name="small", protocols=["sbft-c0"], f_values=(1, 2), seed=3)
+    parallel = run_scale_sweep(scale_name="small", protocols=["sbft-c0"], f_values=(1, 2), seed=3, jobs=2)
+    assert _stable(serial) == _stable(parallel)

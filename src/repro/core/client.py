@@ -106,8 +106,7 @@ class SBFTClient(Process):
         # Retry path: re-send to all replicas and ask for f+1 signed replies.
         self.stats["retries"] += 1
         self._retrying = True
-        for replica in range(self.config.n):
-            self.network.send(self.node_id, replica, self._in_flight)
+        self.network.broadcast_bulk(self.node_id, self._in_flight, range(self.config.n))
         self._retry_timer = self.set_timer(self.config.client_retry_timeout, self._on_retry_timeout)
         # Rotate the believed primary in case it is the one that failed us.
         self._believed_primary = (self._believed_primary + 1) % self.config.n

@@ -131,6 +131,14 @@ class SBFTReplica(Process):
         # Fault-injection behaviour (None = honest).
         self.byzantine_mode: Optional[str] = None
 
+        # Cached broadcast destination lists (the peer set is fixed for the
+        # lifetime of the cluster; rebuilding a range per message was pure
+        # hot-path garbage at n=193).
+        self._peers_all: Tuple[int, ...] = tuple(range(config.n))
+        self._peers_except_self: Tuple[int, ...] = tuple(
+            dst for dst in self._peers_all if dst != node_id
+        )
+
         # Hot-path dispatch: type-keyed handler and verification-cost tables,
         # built once here instead of a 15-branch isinstance chain per message.
         # Message classes are final (frozen dataclasses), so exact-type lookup
@@ -225,10 +233,8 @@ class SBFTReplica(Process):
     def _broadcast(self, message: Any, include_self: bool = True) -> None:
         if self.crashed or self._silenced():
             return
-        for dst in range(self.config.n):
-            if dst == self.node_id and not include_self:
-                continue
-            self.network.send(self.node_id, dst, message)
+        dsts = self._peers_all if include_self else self._peers_except_self
+        self.network.broadcast_bulk(self.node_id, message, dsts)
 
     def _send_to_client(self, client_id: int, message: Any) -> None:
         node = self.client_directory.get(client_id)

@@ -20,6 +20,14 @@ def primary_of_view(view: int, n: int) -> int:
     return view % n
 
 
+#: Bounded clear-on-limit memo for collector groups.  The group is a pure
+#: function of its arguments and every replica of a cluster computes the same
+#: groups for the same slots, so one hash + modulo walk serves the whole
+#: deployment instead of every (replica, message) pair.
+_GROUP_MEMO: dict = {}
+_GROUP_MEMO_LIMIT = 1 << 16
+
+
 def _pseudo_random_group(
     label: str, sequence: int, view: int, n: int, count: int, exclude: int
 ) -> List[int]:
@@ -28,12 +36,20 @@ def _pseudo_random_group(
     The group is a function of (label, sequence, view) only, so every replica
     computes the same group locally without coordination.
     """
-    candidates = [r for r in range(n) if r != exclude]
-    if not candidates:
-        return [exclude]
-    count = min(count, len(candidates))
-    offset = sha256_int("collector-group", label, sequence, view) % len(candidates)
-    return [candidates[(offset + k) % len(candidates)] for k in range(count)]
+    key = (label, sequence, view, n, count, exclude)
+    cached = _GROUP_MEMO.get(key)
+    if cached is None:
+        candidates = [r for r in range(n) if r != exclude]
+        if not candidates:
+            cached = (exclude,)
+        else:
+            count = min(count, len(candidates))
+            offset = sha256_int("collector-group", label, sequence, view) % len(candidates)
+            cached = tuple(candidates[(offset + k) % len(candidates)] for k in range(count))
+        if len(_GROUP_MEMO) >= _GROUP_MEMO_LIMIT:
+            _GROUP_MEMO.clear()
+        _GROUP_MEMO[key] = cached
+    return list(cached)
 
 
 def commit_collectors(

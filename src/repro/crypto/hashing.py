@@ -96,10 +96,26 @@ def memo_key(value: Any) -> Any:
     container we hash) keeps cache hits canonical-encoding-exact.  Unhashable
     values surface as ``TypeError`` at lookup, which callers treat as a cache
     bypass.
+
+    Strings, and tuples made only of strings and exact ints (digest and
+    Merkle-leaf paths, the hottest keys), are used raw.  This cannot
+    collide: a ``str`` only equals another ``str``; an exact ``int`` inside
+    a raw tuple only equals another raw-eligible element if that element is
+    an equal exact ``int`` (``bool``/``float`` look-alikes are excluded from
+    the raw path, and tagged keys are tuples whose first element is a type
+    object, which never equals a str or int).  Equal raw keys therefore
+    always share one canonical encoding.
     """
-    if type(value) is tuple:
-        return (tuple, tuple(memo_key(item) for item in value))
-    return (type(value), value)
+    kind = type(value)
+    if kind is str:
+        return value
+    if kind is tuple:
+        for item in value:
+            item_type = type(item)
+            if item_type is not str and item_type is not int:
+                return (tuple, tuple(memo_key(inner) for inner in value))
+        return value
+    return (kind, value)
 
 
 def sha256_hex(*parts: Any) -> str:

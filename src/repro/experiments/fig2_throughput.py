@@ -8,13 +8,23 @@ number of clients (4..256) for the five protocol variants.
 :func:`run_figure2` reproduces the same grid at a configurable scale and
 returns one row per (mode, failures, protocol, clients) point; Figure 3 reuses
 the identical sweep, so the latency columns are carried along.
+
+Every grid point is an independent fixed-seed simulation, so ``jobs > 1``
+(the shared ``--jobs N`` experiment flag) fans the grid out over worker
+processes; rows come back in grid order and are identical to a serial run.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Sequence
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
-from repro.experiments.harness import ExperimentScale, SMALL_SCALE, result_row, run_kv_point
+from repro.experiments.harness import (
+    ExperimentScale,
+    SMALL_SCALE,
+    result_row,
+    run_kv_point,
+    run_points,
+)
 from repro.protocols.registry import PAPER_ORDER
 
 #: The paper's batching modes: each client request carries 64 operations, or one.
@@ -32,6 +42,28 @@ def scaled_failures(scale: ExperimentScale, paper_failures: Sequence[int] = PAPE
     return sorted({0, max(1, scale.f // 8) if scale.f >= 2 else 1, scale.f})
 
 
+def _figure2_point_worker(spec: Tuple) -> Dict:
+    """Run one grid point; module-level so it pickles for worker processes."""
+    scale, protocol, mode_name, kv_batch, failure_count, num_clients, topology, seed = spec
+    result = run_kv_point(
+        protocol,
+        scale,
+        num_clients=num_clients,
+        kv_batch=kv_batch,
+        failures=failure_count,
+        topology=topology,
+        seed=seed,
+        label=f"{protocol}/{mode_name}/fail={failure_count}/clients={num_clients}",
+    )
+    return result_row(
+        result,
+        protocol=protocol,
+        mode=mode_name,
+        failures=failure_count,
+        clients=num_clients,
+    )
+
+
 def run_figure2(
     scale: ExperimentScale = SMALL_SCALE,
     protocols: Optional[Iterable[str]] = None,
@@ -40,38 +72,28 @@ def run_figure2(
     client_counts: Optional[Sequence[int]] = None,
     topology: str = "continent",
     seed: int = 0,
+    jobs: int = 1,
 ) -> List[Dict]:
-    """Run the Figure 2 sweep and return one result row per point."""
+    """Run the Figure 2 sweep and return one result row per point.
+
+    ``jobs > 1`` runs the (mode x failures x protocol x clients) grid in that
+    many worker processes via :func:`repro.experiments.harness.run_points`;
+    each point is an independent fixed-seed simulation, so the rows are
+    identical to a serial run and stay in grid order.
+    """
     protocols = list(protocols) if protocols is not None else list(PAPER_ORDER)
     batch_modes = dict(batch_modes) if batch_modes is not None else dict(PAPER_BATCH_MODES)
     failures = list(failures) if failures is not None else scaled_failures(scale)
     client_counts = list(client_counts) if client_counts is not None else list(scale.client_counts)
 
-    rows: List[Dict] = []
-    for mode_name, kv_batch in batch_modes.items():
-        for failure_count in failures:
-            for protocol in protocols:
-                for num_clients in client_counts:
-                    result = run_kv_point(
-                        protocol,
-                        scale,
-                        num_clients=num_clients,
-                        kv_batch=kv_batch,
-                        failures=failure_count,
-                        topology=topology,
-                        seed=seed,
-                        label=f"{protocol}/{mode_name}/fail={failure_count}/clients={num_clients}",
-                    )
-                    rows.append(
-                        result_row(
-                            result,
-                            protocol=protocol,
-                            mode=mode_name,
-                            failures=failure_count,
-                            clients=num_clients,
-                        )
-                    )
-    return rows
+    specs = [
+        (scale, protocol, mode_name, kv_batch, failure_count, num_clients, topology, seed)
+        for mode_name, kv_batch in batch_modes.items()
+        for failure_count in failures
+        for protocol in protocols
+        for num_clients in client_counts
+    ]
+    return run_points(_figure2_point_worker, specs, jobs=jobs)
 
 
 def throughput_series(rows: List[Dict], mode: str, failures: int) -> Dict[str, List[float]]:

@@ -17,15 +17,18 @@ from repro.experiments.harness import ExperimentScale, SMALL_SCALE
 def run_figure3(
     scale: ExperimentScale = SMALL_SCALE,
     rows: Optional[List[Dict]] = None,
+    jobs: int = 1,
     **kwargs,
 ) -> List[Dict]:
     """Run (or reuse) the Figure 2 sweep and return the same rows.
 
     Accepts pre-computed ``rows`` so that a single sweep feeds both figures,
-    exactly like the paper's evaluation.
+    exactly like the paper's evaluation.  ``jobs > 1`` (the shared ``--jobs``
+    experiment flag) parallelizes the underlying Figure 2 grid across worker
+    processes with rows identical to a serial run.
     """
     if rows is None:
-        rows = run_figure2(scale=scale, **kwargs)
+        rows = run_figure2(scale=scale, jobs=jobs, **kwargs)
     return rows
 
 

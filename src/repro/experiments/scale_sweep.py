@@ -16,6 +16,13 @@ workload, continent WAN) per replication factor and records, for each point:
 ``BENCH_*.json`` files across PRs; run it from the CLI::
 
     PYTHONPATH=src python -m repro.experiments.scale_sweep --scale small --output BENCH_scale_sweep.json
+
+Every sweep point is an independent fixed-seed simulation, so ``--jobs N``
+runs points in N worker processes with results identical to serial execution
+(rows stay in grid order).  ``--check-against BASELINE.json`` turns the run
+into a perf gate: it fails when wall-clock per simulated event regresses more
+than ``--max-regression``-fold against the baseline document (used by CI
+against the committed ``BENCH_scale_sweep.json``).
 """
 
 from __future__ import annotations
@@ -25,10 +32,17 @@ import json
 import platform
 import sys
 import time
-from typing import Dict, Iterable, List, Optional, Sequence
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.errors import ConfigurationError
-from repro.experiments.harness import ExperimentScale, format_table, result_row, run_kv_point
+from repro.experiments.harness import (
+    ExperimentScale,
+    add_jobs_argument,
+    format_table,
+    result_row,
+    run_kv_point,
+    run_points,
+)
 from repro.version import __version__
 
 #: Replication factors per sweep scale.  ``f`` values translate to
@@ -54,6 +68,45 @@ def sweep_scale(name: str, f: int) -> ExperimentScale:
     )
 
 
+def _sweep_point_worker(spec: Tuple) -> Dict:
+    """Run one (protocol, f) sweep point; module-level so it pickles for
+    :func:`repro.experiments.harness.run_points` worker processes."""
+    protocol, scale_name, f, num_clients, kv_batch, topology, seed = spec
+    scale = sweep_scale(scale_name, f)
+    n = scale.n_c8 if protocol == "sbft-c8" else scale.n_c0
+    started = time.perf_counter()
+    cpu_started = time.process_time()
+    result = run_kv_point(
+        protocol,
+        scale,
+        num_clients=num_clients,
+        kv_batch=kv_batch,
+        topology=topology,
+        seed=seed,
+        label=f"{protocol}/f={f}/n={n}",
+    )
+    # Both clocks: wall for human-facing sweep cost, per-process CPU for the
+    # perf gate (worker processes of a --jobs run time-slice the machine, so
+    # their wall clocks include scheduler contention; CPU time does not).
+    wall = time.perf_counter() - started
+    cpu = time.process_time() - cpu_started
+    row = result_row(
+        result,
+        protocol=protocol,
+        f=f,
+        n=n,
+        clients=num_clients,
+        wall_seconds=round(wall, 4),
+        cpu_seconds=round(cpu, 4),
+        sim_seconds=round(result.sim_time, 4),
+        events_processed=result.events_processed,
+    )
+    row["wall_us_per_message"] = round(1e6 * wall / max(1, result.network_messages), 2)
+    row["wall_us_per_event"] = round(1e6 * wall / max(1, result.events_processed), 2)
+    row["cpu_us_per_event"] = round(1e6 * cpu / max(1, result.events_processed), 2)
+    return row
+
+
 def run_scale_sweep(
     scale_name: str = "small",
     protocols: Sequence[str] = ("sbft-c0",),
@@ -62,42 +115,24 @@ def run_scale_sweep(
     kv_batch: int = 8,
     topology: str = "continent",
     seed: int = 0,
+    jobs: int = 1,
 ) -> List[Dict]:
     """Run the sweep; returns one row per (protocol, f) point.
 
     Each row carries both simulated metrics (throughput, latency) and harness
-    metrics (wall-clock, events, wall-clock per event).
+    metrics (wall-clock, events processed, wall-clock per message/event).
+    With ``jobs > 1`` the points run in that many worker processes; every
+    point is an independent fixed-seed simulation, so the rows are identical
+    to a serial run and stay in (protocol, f) grid order.
     """
     if f_values is None:
         f_values = SWEEP_F_VALUES.get(scale_name, SWEEP_F_VALUES["small"])
-    rows: List[Dict] = []
-    for protocol in protocols:
-        for f in f_values:
-            scale = sweep_scale(scale_name, f)
-            n = scale.n_c8 if protocol == "sbft-c8" else scale.n_c0
-            started = time.perf_counter()
-            result = run_kv_point(
-                protocol,
-                scale,
-                num_clients=num_clients,
-                kv_batch=kv_batch,
-                topology=topology,
-                seed=seed,
-                label=f"{protocol}/f={f}/n={n}",
-            )
-            wall = time.perf_counter() - started
-            row = result_row(
-                result,
-                protocol=protocol,
-                f=f,
-                n=n,
-                clients=num_clients,
-                wall_seconds=round(wall, 4),
-                sim_seconds=round(result.sim_time, 4),
-            )
-            row["wall_us_per_message"] = round(1e6 * wall / max(1, result.network_messages), 2)
-            rows.append(row)
-    return rows
+    specs = [
+        (protocol, scale_name, f, num_clients, kv_batch, topology, seed)
+        for protocol in protocols
+        for f in f_values
+    ]
+    return run_points(_sweep_point_worker, specs, jobs=jobs)
 
 
 def emit_benchmark_json(rows: List[Dict], scale_name: str) -> Dict:
@@ -135,6 +170,53 @@ def emit_benchmark_json(rows: List[Dict], scale_name: str) -> Dict:
     }
 
 
+def check_per_event_regression(
+    rows: List[Dict], baseline_document: Dict, max_regression: float
+) -> Tuple[bool, str]:
+    """Compare wall-clock per simulated event against a baseline document.
+
+    Matches sweep points by label against the baseline's ``extra_info`` and
+    computes the geometric-mean ratio (current / baseline) over the common
+    points — the committed baseline may have been produced at a larger
+    ``--scale``, so a small smoke sweep only gates on the overlap.  Per-point
+    cost prefers ``cpu_us_per_event`` (immune to worker-process contention in
+    ``--jobs`` runs) and falls back to the wall-clock metrics for older
+    baselines — always comparing the *same* metric on both sides, since the
+    per-event and per-message figures are incommensurable.  Returns
+    ``(ok, human-readable message)``; ``ok`` is false when the mean ratio
+    exceeds ``max_regression``.
+    """
+    metric_keys = ("cpu_us_per_event", "wall_us_per_event", "wall_us_per_message")
+    baseline = {}
+    for bench in baseline_document.get("benchmarks", []):
+        extra = bench.get("extra_info", {})
+        label = extra.get("label")
+        if label:
+            baseline[label] = extra
+    ratios = []
+    for row in rows:
+        base_extra = baseline.get(row["label"])
+        if not base_extra:
+            continue
+        for key in metric_keys:
+            base = base_extra.get(key)
+            current = row.get(key)
+            if base and current:
+                ratios.append(float(current) / float(base))
+                break
+    if not ratios:
+        return True, "perf check skipped: no sweep points in common with the baseline"
+    geomean = 1.0
+    for ratio in ratios:
+        geomean *= ratio
+    geomean **= 1.0 / len(ratios)
+    message = (
+        f"wall-clock per simulated event: {geomean:.2f}x the baseline over "
+        f"{len(ratios)} common point(s) (limit {max_regression:.2f}x)"
+    )
+    return geomean <= max_regression, message
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--scale", default="small", choices=sorted(SWEEP_F_VALUES))
@@ -144,6 +226,20 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     parser.add_argument("--topology", default="continent")
     parser.add_argument("--seed", type=int, default=0)
     parser.add_argument("--output", default=None, help="write --benchmark-json-style output here")
+    add_jobs_argument(parser)
+    parser.add_argument(
+        "--check-against",
+        default=None,
+        metavar="BASELINE_JSON",
+        help="fail if wall-clock per simulated event regresses against this "
+        "--benchmark-json baseline (the CI perf smoke gate)",
+    )
+    parser.add_argument(
+        "--max-regression",
+        type=float,
+        default=2.0,
+        help="allowed per-event wall-clock ratio vs --check-against (default 2.0)",
+    )
     args = parser.parse_args(argv)
 
     try:
@@ -154,6 +250,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             kv_batch=args.kv_batch,
             topology=args.topology,
             seed=args.seed,
+            jobs=args.jobs,
         )
     except ConfigurationError as error:
         parser.error(str(error))
@@ -163,6 +260,13 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         with open(args.output, "w", encoding="utf-8") as handle:
             json.dump(document, handle, indent=1, sort_keys=True)
         print(f"wrote {args.output}")
+    if args.check_against:
+        with open(args.check_against, "r", encoding="utf-8") as handle:
+            baseline_document = json.load(handle)
+        ok, message = check_per_event_regression(rows, baseline_document, args.max_regression)
+        print(("OK: " if ok else "FAIL: ") + message)
+        if not ok:
+            return 1
     return 0
 
 

@@ -118,6 +118,8 @@ class PBFTReplica(Process):
         self._new_view_sent_for: set = set()
 
         self.byzantine_mode: Optional[str] = None
+        # Cached broadcast destination list (fixed peer set; see SBFTReplica).
+        self._peers_all: Tuple[int, ...] = tuple(range(config.n))
         self.stats = {
             "blocks_proposed": 0,
             "blocks_committed": 0,
@@ -184,8 +186,7 @@ class PBFTReplica(Process):
     def _broadcast(self, message: Any) -> None:
         if self.crashed or self.byzantine_mode == "silent":
             return
-        for dst in range(self.n):
-            self.network.send(self.node_id, dst, message)
+        self.network.broadcast_bulk(self.node_id, message, self._peers_all)
 
     def _send_to_client(self, client_id: int, message: Any) -> None:
         node = self.client_directory.get(client_id)

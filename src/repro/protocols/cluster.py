@@ -44,6 +44,7 @@ class ClusterResult:
     network_bytes: int = 0
     per_type_messages: Dict[str, int] = field(default_factory=dict)
     sim_time: float = 0.0
+    events_processed: int = 0
 
     # Convenience pass-throughs used all over the benchmarks.
     @property
@@ -206,6 +207,7 @@ class Cluster:
             network_bytes=self.network.stats.bytes_sent,
             per_type_messages=dict(self.network.stats.per_type_count),
             sim_time=self.sim.now,
+            events_processed=self.sim.events_processed,
         )
 
 

@@ -79,16 +79,27 @@ _result_digest_memo: Dict[Any, str] = {}
 
 
 def _operation_digest(operation: Operation) -> str:
+    # Replicas all journal the *same* Operation object (operations travel
+    # inside shared message objects), so the digest is stashed directly on
+    # the instance: one hash per cluster, and no memo-key construction at
+    # all on the n-1 repeat visits.  Falls back to the keyed memo for
+    # value-equal copies (e.g. operations rebuilt by a deserializer).
+    digest = getattr(operation, "_authkv_digest", None)
+    if digest is not None:
+        return digest
     key = (operation.kind, operation.client_id, operation.timestamp, memo_key(operation.payload))
     try:
         cached = _operation_digest_memo.get(key)
-    except TypeError:  # unhashable payload: compute directly
-        return sha256_hex("op", operation.kind, operation.client_id, operation.timestamp, operation.payload)
+    except TypeError:  # unhashable payload: instance stash only
+        key = None
+        cached = None
     if cached is None:
         cached = sha256_hex("op", operation.kind, operation.client_id, operation.timestamp, operation.payload)
-        if len(_operation_digest_memo) >= _DIGEST_MEMO_LIMIT:
-            _operation_digest_memo.clear()
-        _operation_digest_memo[key] = cached
+        if key is not None:
+            if len(_operation_digest_memo) >= _DIGEST_MEMO_LIMIT:
+                _operation_digest_memo.clear()
+            _operation_digest_memo[key] = cached
+    object.__setattr__(operation, "_authkv_digest", cached)
     return cached
 
 

@@ -36,14 +36,20 @@ class Operation:
 
     @property
     def size_bytes(self) -> int:
-        payload = self.payload
-        if isinstance(payload, (bytes, str)):
-            base = len(payload)
-        elif isinstance(payload, (list, tuple, dict)):
-            base = 32 * max(1, len(payload))
-        else:
-            base = 32
-        return 64 + base
+        # Stashed on first use: the same Operation object is sized by every
+        # replica that journals/persists it (hot path at large n).
+        size = self.__dict__.get("_size_memo")
+        if size is None:
+            payload = self.payload
+            if isinstance(payload, (bytes, str)):
+                base = len(payload)
+            elif isinstance(payload, (list, tuple, dict)):
+                base = 32 * max(1, len(payload))
+            else:
+                base = 32
+            size = 64 + base
+            object.__setattr__(self, "_size_memo", size)
+        return size
 
 
 @dataclass(frozen=True)

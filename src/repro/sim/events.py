@@ -19,7 +19,7 @@ from __future__ import annotations
 
 import heapq
 import random
-from typing import Any, Callable, Optional
+from typing import Any, Callable, List, Optional, Sequence
 
 from repro.errors import SimulationError
 
@@ -83,7 +83,11 @@ class Simulator:
     def __init__(self, seed: int = 0):
         self.now: float = 0.0
         self.rng = random.Random(seed)
-        self._heap: list[Event] = []
+        # Heap entries are ``(time, seq, event)`` tuples rather than bare
+        # events: ``(time, seq)`` is unique, so every sift comparison is a
+        # C-level tuple compare that never reaches the event object (the
+        # Python-level ``Event.__lt__`` is kept only for external sorting).
+        self._heap: list[tuple[float, int, Event]] = []
         self._seq = 0
         self._events_processed = 0
         self._cancelled = 0
@@ -97,10 +101,60 @@ class Simulator:
         """Schedule ``callback(*args)`` to run ``delay`` seconds from now."""
         if delay < 0:
             raise SimulationError(f"cannot schedule an event in the past (delay={delay})")
-        event = Event(self.now + delay, self._seq, callback, args, owner=self)
+        time = self.now + delay
+        event = Event(time, self._seq, callback, args, owner=self)
+        heapq.heappush(self._heap, (time, self._seq, event))
         self._seq += 1
-        heapq.heappush(self._heap, event)
         return event
+
+    def schedule_many(
+        self,
+        delays: Sequence[float],
+        callback: Callable[..., None],
+        args_list: Sequence[tuple],
+    ) -> List[Event]:
+        """Bulk-schedule one callback with many ``(delay, args)`` pairs.
+
+        This is the fan-out primitive behind :meth:`Network.broadcast_bulk`:
+        ``callback(*args_list[i])`` runs ``delays[i]`` seconds from now.
+        Events receive contiguous ``(time, seq)`` pairs in argument order —
+        exactly the sequence numbers a loop of :meth:`schedule` calls would
+        have assigned — so the total order guaranteed by the heap-compaction
+        invariant (and therefore execution order) is identical to scheduling
+        the entries one at a time.
+
+        The heap is updated with one amortized operation: when the batch is
+        large relative to the live heap the entries are appended and the heap
+        re-heapified in O(heap + batch); small batches fall back to
+        individual pushes.
+        """
+        if len(delays) != len(args_list):
+            raise SimulationError("schedule_many: delays and args_list length mismatch")
+        if not delays:
+            return []
+        now = self.now
+        seq = self._seq
+        events: List[Event] = []
+        entries = []
+        for delay, args in zip(delays, args_list):
+            if delay < 0:
+                raise SimulationError(
+                    f"cannot schedule an event in the past (delay={delay})"
+                )
+            event = Event(now + delay, seq, callback, args, owner=self)
+            events.append(event)
+            entries.append((event.time, seq, event))
+            seq += 1
+        self._seq = seq
+        heap = self._heap
+        if len(entries) * 4 >= len(heap):
+            heap.extend(entries)
+            heapq.heapify(heap)
+        else:
+            push = heapq.heappush
+            for entry in entries:
+                push(heap, entry)
+        return events
 
     def schedule_at(self, time: float, callback: Callable[..., None], *args: Any) -> Event:
         """Schedule ``callback(*args)`` at an absolute simulation time."""
@@ -124,7 +178,7 @@ class Simulator:
 
     def _compact(self) -> None:
         """Drop cancelled entries and re-heapify the live ones."""
-        self._heap = [event for event in self._heap if not event.cancelled]
+        self._heap = [entry for entry in self._heap if not entry[2].cancelled]
         heapq.heapify(self._heap)
         self._cancelled = 0
         self._compactions += 1
@@ -161,7 +215,7 @@ class Simulator:
         while self._heap:
             if max_events is not None and processed >= max_events:
                 break
-            event = self._heap[0]
+            event = self._heap[0][2]
             if event.cancelled:
                 heapq.heappop(self._heap)
                 event.owner = None

@@ -27,6 +27,18 @@ class LatencyModel:
     def delay(self, src: int, dst: int, rng: random.Random) -> float:
         raise NotImplementedError
 
+    def delays_from(self, src: int, dsts: Sequence[int], rng: random.Random) -> list[float]:
+        """Vectorized :meth:`delay` for a broadcast fan-out.
+
+        Must draw from ``rng`` exactly as ``[delay(src, d, rng) for d in
+        dsts]`` would — same draws, same per-destination order — so that
+        bulk fan-out keeps fixed-seed runs byte-identical to per-message
+        sends.  Subclasses override this to hoist per-source work out of
+        the per-destination loop.
+        """
+        delay = self.delay
+        return [delay(src, dst, rng) for dst in dsts]
+
     def region_of(self, node: int) -> int:
         """Region index of a node (0 for flat topologies)."""
         return 0
@@ -45,6 +57,15 @@ class UniformLatency(LatencyModel):
         if src == dst:
             return 0.0
         return self.base + rng.uniform(0.0, self.jitter)
+
+    def delays_from(self, src: int, dsts: Sequence[int], rng: random.Random) -> list[float]:
+        base = self.base
+        jitter = self.jitter
+        uniform = rng.uniform
+        return [
+            0.0 if dst == src else base + uniform(0.0, jitter)
+            for dst in dsts
+        ]
 
 
 class RegionLatency(LatencyModel):
@@ -93,6 +114,26 @@ class RegionLatency(LatencyModel):
         if base <= 0.0:
             base = self.intra_node_delay
         return base * (1.0 + rng.uniform(0.0, self.jitter_fraction))
+
+    def delays_from(self, src: int, dsts: Sequence[int], rng: random.Random) -> list[float]:
+        # One row lookup per fan-out instead of two region_of() calls and a
+        # double index per destination; the RNG draw order matches delay().
+        row = self.matrix[self.region_of(src)]
+        region_of = self.region_of
+        intra = self.intra_node_delay
+        jitter_fraction = self.jitter_fraction
+        uniform = rng.uniform
+        delays = []
+        append = delays.append
+        for dst in dsts:
+            if dst == src:
+                append(0.0)
+                continue
+            base = row[region_of(dst)]
+            if base <= 0.0:
+                base = intra
+            append(base * (1.0 + uniform(0.0, jitter_fraction)))
+        return delays
 
 
 def _ring_matrix(num_regions: int, min_delay: float, max_delay: float) -> list[list[float]]:

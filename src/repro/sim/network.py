@@ -10,6 +10,7 @@ adversary of the system model (Section II).
 from __future__ import annotations
 
 import random
+from collections import Counter
 from dataclasses import dataclass, field
 from typing import Any, Callable, Iterable, Optional
 
@@ -21,20 +22,32 @@ from repro.sim.process import Process
 
 @dataclass
 class NetworkStats:
-    """Aggregate traffic counters, used by the linearity benchmarks."""
+    """Aggregate traffic counters, used by the linearity benchmarks.
+
+    The per-type tables are :class:`collections.Counter` (a dict subclass),
+    so hot-path accounting is a single C-level ``+=`` per message instead of
+    a ``dict.get`` read-modify-write.
+    """
 
     messages_sent: int = 0
     messages_delivered: int = 0
     messages_dropped: int = 0
     bytes_sent: int = 0
-    per_type_count: dict = field(default_factory=dict)
-    per_type_bytes: dict = field(default_factory=dict)
+    per_type_count: Counter = field(default_factory=Counter)
+    per_type_bytes: Counter = field(default_factory=Counter)
 
     def record(self, msg_type: str, size: int) -> None:
         self.messages_sent += 1
         self.bytes_sent += size
-        self.per_type_count[msg_type] = self.per_type_count.get(msg_type, 0) + 1
-        self.per_type_bytes[msg_type] = self.per_type_bytes.get(msg_type, 0) + size
+        self.per_type_count[msg_type] += 1
+        self.per_type_bytes[msg_type] += size
+
+    def record_bulk(self, msg_type: str, size: int, count: int) -> None:
+        """Record ``count`` same-type, same-size sends in one update."""
+        self.messages_sent += count
+        self.bytes_sent += size * count
+        self.per_type_count[msg_type] += count
+        self.per_type_bytes[msg_type] += size * count
 
 
 def _message_type(message: Any) -> str:
@@ -42,12 +55,23 @@ def _message_type(message: Any) -> str:
 
 
 def _message_size(message: Any) -> int:
+    # Protocol messages are immutable (frozen dataclasses), but their
+    # ``size_bytes`` properties recompute nested operation sums on every
+    # access; the computed size is stashed on the instance so each message
+    # object is sized once no matter how many times it is (re)sent.
+    cached = getattr(message, "_net_size_memo", None)
+    if cached is not None:
+        return cached
     size = getattr(message, "size_bytes", None)
     if callable(size):
-        return int(size())
-    if isinstance(size, int):
-        return size
-    return 256
+        size = int(size())
+    elif not isinstance(size, int):
+        size = 256
+    try:
+        object.__setattr__(message, "_net_size_memo", size)
+    except (AttributeError, TypeError):  # slotted or primitive payloads
+        pass
+    return size
 
 
 class Network:
@@ -83,6 +107,7 @@ class Network:
         self.rng = random.Random(seed if seed is not None else sim.rng.getrandbits(32))
         self.stats = NetworkStats()
         self._nodes: dict[int, Process] = {}
+        self._node_ids_cache: Optional[tuple[int, ...]] = None
         self._down_links: set[tuple[int, int]] = set()
         self._isolated: set[int] = set()
         self._taps: list[Callable[[int, int, Any], None]] = []
@@ -95,6 +120,7 @@ class Network:
         if node.node_id in self._nodes:
             raise NetworkError(f"node id {node.node_id} registered twice")
         self._nodes[node.node_id] = node
+        self._node_ids_cache = None
 
     def node(self, node_id: int) -> Process:
         try:
@@ -104,7 +130,14 @@ class Network:
 
     @property
     def node_ids(self) -> list[int]:
-        return sorted(self._nodes)
+        """Sorted registered node ids.
+
+        The sorted order is cached until the next :meth:`register`; callers
+        get a fresh list (safe to mutate) without re-sorting per access.
+        """
+        if self._node_ids_cache is None:
+            self._node_ids_cache = tuple(sorted(self._nodes))
+        return list(self._node_ids_cache)
 
     # ------------------------------------------------------------------
     # Fault / partition control
@@ -131,12 +164,14 @@ class Network:
     # ------------------------------------------------------------------
     def send(self, src: int, dst: int, message: Any) -> None:
         """Send a message; delivery is scheduled per the latency model."""
-        if dst not in self._nodes:
+        node = self._nodes.get(dst)
+        if node is None:
             raise NetworkError(f"send to unknown node {dst}")
         size = _message_size(message)
         self.stats.record(_message_type(message), size)
-        for tap in self._taps:
-            tap(src, dst, message)
+        if self._taps:
+            for tap in self._taps:
+                tap(src, dst, message)
 
         if (
             (src, dst) in self._down_links
@@ -150,13 +185,88 @@ class Network:
         delay = self.latency.delay(src, dst, self.rng)
         if self.bandwidth:
             delay += size / self.bandwidth
-        node = self._nodes[dst]
         self.sim.schedule(delay, self._deliver, node, message, src)
 
     def broadcast(self, src: int, message: Any, dst_ids: Iterable[int]) -> None:
         """Send the same message to every destination (excluding none)."""
-        for dst in dst_ids:
-            self.send(src, dst, message)
+        self.broadcast_bulk(src, message, dst_ids)
+
+    def broadcast_bulk(self, src: int, message: Any, dst_ids: Iterable[int]) -> None:
+        """Fan one message out to many destinations as a bulk operation.
+
+        Semantically identical to ``for dst in dst_ids: send(src, dst,
+        message)`` — including the RNG draw sequence, so fixed-seed runs are
+        byte-identical — but the per-message work is hoisted out of the loop:
+        the message size/type is computed once, traffic stats are recorded in
+        one bulk update, per-destination latencies come from the vectorized
+        :meth:`LatencyModel.delays_from`, and all deliveries are handed to
+        :meth:`Simulator.schedule_many` as a single fan-out batch.
+
+        RNG-order contract (matches :meth:`send` exactly): destinations are
+        processed in iteration order; a destination on a downed link or
+        behind an isolated node draws nothing; with ``drop_rate > 0`` each
+        remaining destination draws the drop decision and then — only if it
+        survives — its latency sample, before the next destination draws.
+
+        Destination validation is all-or-nothing: an unknown destination
+        raises :class:`NetworkError` before any stats, taps or RNG draws
+        (a ``send`` loop would fail midway with partial effects).
+        """
+        dsts = list(dst_ids)
+        if not dsts:
+            return
+        nodes = self._nodes
+        try:
+            resolved = [nodes[dst] for dst in dsts]
+        except KeyError as error:
+            raise NetworkError(f"send to unknown node {error.args[0]}") from None
+        size = _message_size(message)
+        self.stats.record_bulk(_message_type(message), size, len(dsts))
+        if self._taps:
+            for dst in dsts:
+                for tap in self._taps:
+                    tap(src, dst, message)
+
+        down = self._down_links
+        isolated = self._isolated
+        drop_rate = self.drop_rate
+        rng = self.rng
+        if not drop_rate and not down and not isolated:
+            # Fault-free fast path: no drop decisions exist, so all RNG
+            # draws are latency samples in destination order.
+            targets = resolved
+            delays = self.latency.delays_from(src, dsts, rng)
+        else:
+            # Drop decisions interleave with latency draws; keep the
+            # per-destination order of ``send`` exactly.
+            delay_of = self.latency.delay
+            targets = []
+            append_target = targets.append
+            delays = []
+            append_delay = delays.append
+            dropped = 0
+            src_isolated = src in isolated
+            for dst, node in zip(dsts, resolved):
+                if (
+                    (src, dst) in down
+                    or src_isolated
+                    or dst in isolated
+                    or (drop_rate > 0.0 and rng.random() < drop_rate)
+                ):
+                    dropped += 1
+                    continue
+                append_delay(delay_of(src, dst, rng))
+                append_target(node)
+            if dropped:
+                self.stats.messages_dropped += dropped
+
+        if not targets:
+            return
+        if self.bandwidth:
+            serialization = size / self.bandwidth
+            delays = [delay + serialization for delay in delays]
+        args_list = [(node, message, src) for node in targets]
+        self.sim.schedule_many(delays, self._deliver, args_list)
 
     def _deliver(self, node: Process, message: Any, src: int) -> None:
         self.stats.messages_delivered += 1

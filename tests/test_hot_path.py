@@ -1,21 +1,31 @@
 """Regression tests for the simulation hot path.
 
-Covers the three hot-path invariants introduced by the performance overhaul:
+Covers the hot-path invariants introduced by the performance overhauls:
 
 * the event heap stays bounded under heavy timer churn (cancelled-event
   compaction),
 * compaction never changes execution order (events are totally ordered by
   ``(time, seq)``),
 * the dispatch-table refactor is behaviour-preserving: a fixed seed produces
-  identical replica ``stats`` and committed sequences run-over-run.
+  identical replica ``stats`` and committed sequences run-over-run,
+* bulk broadcast fan-out (``Network.broadcast_bulk`` /
+  ``Simulator.schedule_many`` / ``LatencyModel.delays_from``) is
+  decision-for-decision identical to a per-destination ``send`` loop —
+  same RNG draws, same stats, same delivery order — including under
+  ``drop_rate > 0``, a downed link and an isolated node.
 """
 
 from __future__ import annotations
+
+import random
 
 import pytest
 
 from helpers import assert_agreement, executed_histories, run_small_cluster
 from repro.sim.events import Simulator
+from repro.sim.latency import RegionLatency, UniformLatency
+from repro.sim.network import Network
+from repro.sim.process import Process
 
 
 # ----------------------------------------------------------------------
@@ -133,6 +143,253 @@ def test_digest_memo_distinguishes_equal_but_distinct_values():
     nested_int = _result_digest(OperationResult(value=(1, "x")))
     nested_float = _result_digest(OperationResult(value=(1.0, "x")))
     assert nested_int != nested_float
+
+
+# ----------------------------------------------------------------------
+# Bulk broadcast fan-out
+# ----------------------------------------------------------------------
+class _RecordingSink(Process):
+    """Sink that records (sim-time, message, src) at delivery."""
+
+    def __init__(self, sim, node_id):
+        super().__init__(sim, node_id)
+        self.received = []
+
+    def on_message(self, message, src):
+        self.received.append((self.sim.now, message, src))
+
+
+def _make_net(num_nodes, seed=42, latency=None, drop_rate=0.0):
+    sim = Simulator(seed=seed)
+    latency = latency or RegionLatency([i % 3 for i in range(num_nodes)],
+                                       [[0.0, 0.01, 0.02],
+                                        [0.01, 0.0, 0.03],
+                                        [0.02, 0.03, 0.0]])
+    net = Network(sim, latency=latency, drop_rate=drop_rate, seed=seed + 1)
+    sinks = [_RecordingSink(sim, i) for i in range(num_nodes)]
+    for sink in sinks:
+        net.register(sink)
+    return sim, net, sinks
+
+
+def _net_observables(sim, net, sinks):
+    stats = net.stats
+    return (
+        [sink.received for sink in sinks],
+        (stats.messages_sent, stats.messages_delivered, stats.messages_dropped,
+         stats.bytes_sent, dict(stats.per_type_count), dict(stats.per_type_bytes)),
+        net.rng.getstate(),
+        sim.events_processed,
+        sim.now,
+    )
+
+
+@pytest.mark.parametrize(
+    "scenario",
+    ["clean", "drops", "down-link", "isolated-dst", "isolated-src", "everything"],
+)
+def test_broadcast_bulk_matches_per_destination_sends(scenario):
+    """broadcast_bulk must be draw-for-draw identical to a send loop.
+
+    The reference network fans out with the pre-bulk semantics (one
+    ``send`` per destination); the bulk network uses ``broadcast``.  Both
+    run fixed-seed and must agree on every delivery time, every stats
+    counter and the final RNG state.
+    """
+    drop_rate = 0.5 if scenario in ("drops", "everything") else 0.0
+
+    def apply_faults(net):
+        if scenario in ("down-link", "everything"):
+            net.set_link_down(0, 2)
+        if scenario == "isolated-dst":
+            net.isolate(3)
+        if scenario in ("isolated-src", "everything"):
+            net.isolate(0)
+
+    def drive(use_bulk):
+        sim, net, sinks = _make_net(6, drop_rate=drop_rate)
+        apply_faults(net)
+        for round_number in range(5):
+            src = round_number % 3
+            message = f"m{round_number}"
+            if use_bulk:
+                net.broadcast(src, message, range(6))
+            else:
+                for dst in range(6):
+                    net.send(src, dst, message)
+            sim.run()
+        return _net_observables(sim, net, sinks)
+
+    assert drive(use_bulk=True) == drive(use_bulk=False)
+
+
+def test_broadcast_bulk_interleaved_with_sim_time():
+    """Fan-outs issued from running events (mid-simulation, non-zero now)
+    must match the send loop too — delays stack on the current clock."""
+
+    def drive(use_bulk):
+        sim, net, sinks = _make_net(4, drop_rate=0.25)
+
+        def fan_out(src, message):
+            if use_bulk:
+                net.broadcast_bulk(src, message, [0, 1, 2, 3])
+            else:
+                for dst in range(4):
+                    net.send(src, dst, message)
+
+        sim.schedule(0.05, fan_out, 1, "a")
+        sim.schedule(0.05, fan_out, 2, "b")
+        sim.schedule(0.20, fan_out, 3, "c")
+        sim.run()
+        return _net_observables(sim, net, sinks)
+
+    assert drive(use_bulk=True) == drive(use_bulk=False)
+
+
+def test_broadcast_bulk_empty_and_unknown_destinations():
+    from repro.errors import NetworkError
+
+    sim, net, sinks = _make_net(3)
+    net.broadcast_bulk(0, "noop", [])
+    assert net.stats.messages_sent == 0
+    with pytest.raises(NetworkError):
+        net.broadcast_bulk(0, "bad", [0, 1, 99])
+    # Validation is all-or-nothing: a failed fan-out has no side effects.
+    assert net.stats.messages_sent == 0
+    assert net.rng.getstate() == random.Random(43).getstate()
+    sim2, net2, _ = _make_net(3, drop_rate=0.5)
+    with pytest.raises(NetworkError):
+        net2.broadcast_bulk(0, "bad", [0, 1, 99])
+    assert net2.stats.messages_sent == 0
+
+
+def test_schedule_many_assigns_contiguous_seqs_and_preserves_order():
+    """schedule_many must be indistinguishable from a loop of schedule calls:
+    contiguous (time, seq) pairs, same execution order, for both the
+    amortized-heapify (large batch) and incremental-push (small batch) paths."""
+
+    def drive(bulk):
+        sim = Simulator(seed=9)
+        fired = []
+        # Pre-existing events so the small batch takes the push path.
+        for i in range(64):
+            sim.schedule(0.5 + i * 0.001, fired.append, ("pre", i))
+        delays = [((i * 13) % 7) * 0.1 for i in range(40)]
+        if bulk:
+            big = sim.schedule_many(delays, fired.append, [(("big", i),) for i in range(len(delays))])
+            small = sim.schedule_many([0.01, 0.02], fired.append, [(("small", 0),), (("small", 1),)])
+        else:
+            big = [sim.schedule(delay, fired.append, ("big", i)) for i, delay in enumerate(delays)]
+            small = [sim.schedule(0.01, fired.append, ("small", 0)), sim.schedule(0.02, fired.append, ("small", 1))]
+        seqs = [event.seq for event in big + small]
+        sim.run()
+        return fired, seqs, sim.events_processed
+
+    assert drive(bulk=True) == drive(bulk=False)
+
+
+def test_schedule_many_rejects_negative_delay_and_length_mismatch():
+    from repro.errors import SimulationError
+
+    sim = Simulator()
+    with pytest.raises(SimulationError):
+        sim.schedule_many([0.1, -0.1], lambda *a: None, [(1,), (2,)])
+    with pytest.raises(SimulationError):
+        sim.schedule_many([0.1], lambda *a: None, [(1,), (2,)])
+
+
+def test_schedule_many_events_are_cancellable():
+    sim = Simulator()
+    fired = []
+    events = sim.schedule_many([0.1, 0.2, 0.3], fired.append, [(0,), (1,), (2,)])
+    events[1].cancel()
+    sim.run()
+    assert fired == [0, 2]
+    assert sim.live_events == 0
+
+
+@pytest.mark.parametrize("model", ["uniform", "region"])
+def test_delays_from_matches_scalar_delay_draws(model):
+    """delays_from must consume the RNG exactly like a delay() loop."""
+    if model == "uniform":
+        latency = UniformLatency(base=0.002, jitter=0.001)
+    else:
+        latency = RegionLatency([0, 1, 2, 0, 1], [[0.0, 0.01, 0.02],
+                                                  [0.01, 0.0, 0.03],
+                                                  [0.02, 0.03, 0.0]])
+    dsts = [0, 1, 2, 3, 4, 2, 0]
+    for src in range(3):
+        rng_scalar = random.Random(17 + src)
+        rng_bulk = random.Random(17 + src)
+        scalar = [latency.delay(src, dst, rng_scalar) for dst in dsts]
+        bulk = latency.delays_from(src, dsts, rng_bulk)
+        assert bulk == scalar
+        assert rng_bulk.getstate() == rng_scalar.getstate()
+
+
+def test_node_ids_cache_invalidated_on_register():
+    sim = Simulator()
+    net = Network(sim)
+    first = _RecordingSink(sim, 5)
+    net.register(first)
+    assert net.node_ids == [5]
+    second = _RecordingSink(sim, 1)
+    net.register(second)
+    assert net.node_ids == [1, 5]
+
+
+@pytest.mark.parametrize(
+    "faults",
+    ["drops", "down-link", "isolated"],
+)
+def test_fixed_seed_cluster_runs_identical_under_network_faults(faults):
+    """Fixed-seed end-to-end runs must stay deterministic with the bulk
+    fan-out active on every decision path: random drops, a downed link and
+    an isolated replica (decision sequences, replica stats, NetworkStats)."""
+    from repro.protocols.cluster import build_cluster
+    from repro.workloads.kv_workload import KVWorkload
+
+    def run_once():
+        cluster = build_cluster(
+            "sbft-c0",
+            f=1,
+            num_clients=2,
+            topology="continent",
+            batch_size=2,
+            seed=23,
+            drop_rate=0.01 if faults == "drops" else 0.0,
+            config_overrides={
+                "fast_path_timeout": 0.05,
+                "batch_timeout": 0.01,
+                "view_change_timeout": 1.0,
+                "client_retry_timeout": 1.5,
+            },
+        )
+        workload = KVWorkload(requests_per_client=4, batch_size=2, seed=24)
+        cluster._build(workload)
+        if faults == "down-link":
+            cluster.network.set_link_down(1, 3)
+        elif faults == "isolated":
+            cluster.network.isolate(3)
+        cluster.sim.run(
+            until=60.0,
+            stop_when=lambda: all(client.done for client in cluster.clients.values()),
+        )
+        stats = cluster.network.stats
+        return (
+            {rid: dict(replica.stats) for rid, replica in cluster.replicas.items()},
+            executed_histories(cluster),
+            (stats.messages_sent, stats.messages_delivered, stats.messages_dropped,
+             stats.bytes_sent, dict(stats.per_type_count), dict(stats.per_type_bytes)),
+            cluster.sim.events_processed,
+            cluster.sim.now,
+        )
+
+    first = run_once()
+    second = run_once()
+    assert first == second
+    # The runs made progress (the faults did not stall the protocol).
+    assert any(history for history in first[1].values())
 
 
 # ----------------------------------------------------------------------
