@@ -19,9 +19,11 @@ import pytest
 from conftest import attach_rows
 from repro.experiments.smart_contracts import (
     run_smart_contract_benchmark,
+    run_smart_contract_sweep,
     single_node_baseline,
     slowdown_vs_baseline,
 )
+from repro.services.ledger import clear_execution_cache, execution_cache_stats
 
 
 def test_single_node_baseline(benchmark):
@@ -59,3 +61,50 @@ def test_smart_contract_table(benchmark, scale, topology):
     # Replication is slower than unreplicated execution.
     slowdowns = slowdown_vs_baseline(rows)
     assert all(value >= 1.0 for value in slowdowns.values())
+
+
+def test_smart_contract_sweep_rows_and_perf_columns(benchmark):
+    """The BENCH_smart_contracts.json generator: per-point wall/CPU columns,
+    and the deployment-shared execution cache actually engaging."""
+    clear_execution_cache()
+
+    def run():
+        return run_smart_contract_sweep(
+            scale_name="small",
+            f_values=(2,),
+            num_transactions=300,
+            topologies=("continent",),
+            protocols=("sbft-c8", "pbft"),
+        )
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    attach_rows(benchmark, rows)
+    assert [row["label"] for row in rows] == ["sbft-c8/continent/f=2", "pbft/continent/f=2"]
+    for row in rows:
+        assert row["transactions"] == 300
+        assert row["wall_seconds"] > 0 and row["cpu_seconds"] > 0
+        assert row["wall_us_per_event"] > 0 and row["cpu_us_per_event"] > 0
+        assert row["events_processed"] > 0
+    stats = execution_cache_stats()
+    assert stats["misses"] > 0 and stats["hits"] > 0
+
+
+def test_smart_contract_sweep_parallel_rows_match_serial():
+    """--jobs N must not change the simulated rows (worker processes start
+    with cold caches; only the host-clock columns may differ)."""
+    kwargs = dict(
+        scale_name="small",
+        f_values=(2,),
+        num_transactions=300,
+        topologies=("continent",),
+        protocols=("sbft-c8", "pbft"),
+    )
+    clear_execution_cache()
+    serial = run_smart_contract_sweep(jobs=1, **kwargs)
+    parallel = run_smart_contract_sweep(jobs=2, **kwargs)
+
+    host_clock_keys = {"wall_seconds", "cpu_seconds", "wall_us_per_event", "cpu_us_per_event"}
+    for serial_row, parallel_row in zip(serial, parallel):
+        simulated_serial = {k: v for k, v in serial_row.items() if k not in host_clock_keys}
+        simulated_parallel = {k: v for k, v in parallel_row.items() if k not in host_clock_keys}
+        assert simulated_serial == simulated_parallel

@@ -77,6 +77,29 @@ from repro.sim.network import Network
 from repro.sim.process import Process
 
 
+def block_execution_plan(pre_prepare, service, costs) -> Tuple[List[Operation], float]:
+    """Flattened operations and total simulated execution cost of a block.
+
+    The same frozen ``PrePrepare`` object reaches every replica, and the cost
+    of a block is a pure function of its operations and the cluster's
+    (service type, cost model) pair — so the plan is stashed on the message
+    instance and computed once per cluster instead of twice per replica
+    (SBFT and PBFT replicas share this helper).  The guard re-computes if a
+    differently-configured replica ever shares the message.
+    """
+    memo = pre_prepare.__dict__.get("_exec_plan")
+    service_type = type(service)
+    if memo is not None and memo[0] is service_type and memo[1] is costs:
+        return memo[2], memo[3]
+    operations: List[Operation] = []
+    for request in pre_prepare.requests:
+        operations.extend(request.operations)
+    cost = sum(service.execution_cost(op) for op in operations)
+    cost += costs.hash_op * max(1, len(operations))
+    object.__setattr__(pre_prepare, "_exec_plan", (service_type, costs, operations, cost))
+    return operations, cost
+
+
 class SBFTReplica(Process):
     """One SBFT replica."""
 
@@ -653,18 +676,9 @@ class SBFTReplica(Process):
         slot = self.log.peek(next_sequence)
         if slot is None or not slot.committed or slot.pre_prepare is None or slot.executed:
             return
-        operations = self._flatten_operations(slot.pre_prepare.requests)
-        cost = sum(self.service.execution_cost(op) for op in operations)
-        cost += self.costs.hash_op * max(1, len(operations))
+        operations, cost = block_execution_plan(slot.pre_prepare, self.service, self.costs)
         self._executing = True
         self.compute(cost, self._finish_execution, slot.sequence)
-
-    @staticmethod
-    def _flatten_operations(requests: Tuple[ClientRequest, ...]) -> List[Operation]:
-        operations: List[Operation] = []
-        for request in requests:
-            operations.extend(request.operations)
-        return operations
 
     def _finish_execution(self, sequence: int) -> None:
         self._executing = False
@@ -676,7 +690,7 @@ class SBFTReplica(Process):
             self._try_execute()
             return
 
-        operations = self._flatten_operations(slot.pre_prepare.requests)
+        operations, _cost = block_execution_plan(slot.pre_prepare, self.service, self.costs)
         results = self.service.execute_block(sequence, operations)
         slot.execution_results = results
         slot.executed = True

@@ -19,9 +19,27 @@ from __future__ import annotations
 from typing import Iterable, List, Sequence, Union
 
 from repro.errors import EVMError
-from repro.evm.opcodes import OPCODES, Op, opcode_name
+from repro.evm.opcodes import IMMEDIATE_WIDTHS, OPCODE_INFO, OPCODES, Op, opcode_name
 
 Instruction = Union[str, int]
+
+
+def instruction_offsets(code: bytes) -> List[int]:
+    """Byte offsets of instruction boundaries (the linear decode walk).
+
+    The same walk the JUMPDEST-validity analysis uses: PUSH immediates are
+    skipped, unknown bytes advance by one.  Exposed so tests can cross-check
+    the interpreter's pre-decode pass against the assembler's view of the
+    program.
+    """
+    offsets: List[int] = []
+    widths = IMMEDIATE_WIDTHS
+    pc = 0
+    length = len(code)
+    while pc < length:
+        offsets.append(pc)
+        pc += 1 + widths[code[pc]]
+    return offsets
 
 
 def _parse_value(token: str, labels: dict) -> int:
@@ -92,7 +110,7 @@ def disassemble(code: bytes) -> List[str]:
     pc = 0
     while pc < len(code):
         byte = code[pc]
-        info = OPCODES.get(byte)
+        info = OPCODE_INFO[byte]
         if info is None:
             out.append(f"UNKNOWN_{byte:02x}")
             pc += 1

@@ -8,6 +8,9 @@ of real Ethereum traffic), and a generic key-value register.
 
 from __future__ import annotations
 
+from functools import lru_cache
+from typing import Dict, Tuple
+
 from repro.evm.assembler import assemble
 
 #: Calling convention used by these contracts: calldata word 0 selects the
@@ -17,6 +20,7 @@ ARG1_OFFSET = 32
 ARG2_OFFSET = 64
 
 
+@lru_cache(maxsize=None)
 def counter_contract() -> bytes:
     """A contract with a single counter in slot 0; any call increments it and
     returns the new value."""
@@ -30,6 +34,7 @@ def counter_contract() -> bytes:
     ])
 
 
+@lru_cache(maxsize=None)
 def storage_contract() -> bytes:
     """A key-value register: ``fn=1`` stores ``(arg1 -> arg2)``, ``fn=2``
     loads ``arg1`` and returns the stored value."""
@@ -56,6 +61,7 @@ def storage_contract() -> bytes:
     ])
 
 
+@lru_cache(maxsize=None)
 def token_contract() -> bytes:
     """A minimal token: ``fn=1`` mints ``arg2`` units to account slot ``arg1``;
     ``fn=2`` transfers ``arg2`` units from the caller's slot (``caller mod
@@ -129,6 +135,19 @@ def token_contract() -> bytes:
     ])
 
 
+#: Calldata encodings recur heavily in the synthetic workload (bounded
+#: argument ranges), so the pure encoding is memoized clear-on-limit.
+_ENCODE_CALL_MEMO: Dict[Tuple[int, int, int], bytes] = {}
+_ENCODE_CALL_MEMO_LIMIT = 1 << 15
+
+
 def encode_call(selector: int, arg1: int = 0, arg2: int = 0) -> bytes:
     """Encode calldata per the convention used by the reference contracts."""
-    return selector.to_bytes(32, "big") + arg1.to_bytes(32, "big") + arg2.to_bytes(32, "big")
+    key = (selector, arg1, arg2)
+    data = _ENCODE_CALL_MEMO.get(key)
+    if data is None:
+        data = selector.to_bytes(32, "big") + arg1.to_bytes(32, "big") + arg2.to_bytes(32, "big")
+        if len(_ENCODE_CALL_MEMO) >= _ENCODE_CALL_MEMO_LIMIT:
+            _ENCODE_CALL_MEMO.clear()
+        _ENCODE_CALL_MEMO[key] = data
+    return data

@@ -176,6 +176,16 @@ for _op in (Op.SWAP1, Op.SWAP2, Op.SWAP3, Op.SWAP4):
     OPCODES[int(_op)] = OpcodeInfo(op=_op, gas=3, pops=0, pushes=0)
 
 
+#: Byte-indexed views of the opcode table for the decoder hot paths: a dense
+#: 256-entry list avoids dict lookups when walking instruction boundaries, and
+#: ``IMMEDIATE_WIDTHS`` gives the number of immediate bytes each opcode
+#: consumes (0 for everything except the PUSH family).
+OPCODE_INFO = [OPCODES.get(byte) for byte in range(256)]
+IMMEDIATE_WIDTHS = [info.immediate_bytes if info is not None else 0 for info in OPCODE_INFO]
+
+JUMPDEST_BYTE = int(Op.JUMPDEST)
+
+
 def opcode_name(byte: int) -> str:
     """Readable name of an opcode byte (``UNKNOWN_xx`` if unsupported)."""
     info = OPCODES.get(byte)

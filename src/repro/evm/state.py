@@ -16,6 +16,23 @@ from typing import Any, Dict, Optional
 from repro.crypto.hashing import sha256_hex
 from repro.errors import EVMError
 
+#: Contract code is stored hex-encoded (the KV backends hold str/int values),
+#: but ``get_code`` is called once per message execution — decoding the same
+#: hex blob every call was measurable interpreter overhead.  Pure mapping,
+#: bounded clear-on-limit like the digest memos.
+_CODE_DECODE_MEMO: Dict[str, bytes] = {}
+_CODE_DECODE_MEMO_LIMIT = 1 << 10
+
+
+def _decode_code(hex_code: str) -> bytes:
+    code = _CODE_DECODE_MEMO.get(hex_code)
+    if code is None:
+        code = bytes.fromhex(hex_code)
+        if len(_CODE_DECODE_MEMO) >= _CODE_DECODE_MEMO_LIMIT:
+            _CODE_DECODE_MEMO.clear()
+        _CODE_DECODE_MEMO[hex_code] = code
+    return code
+
 
 @dataclass
 class Account:
@@ -85,7 +102,10 @@ class WorldState:
         self._backend_put(f"code/{address}", code.hex())
 
     def get_code(self, address: str) -> bytes:
-        return bytes.fromhex(self._backend_get(f"code/{address}", ""))
+        hex_code = self._backend_get(f"code/{address}", "")
+        if not hex_code:
+            return b""
+        return _decode_code(hex_code)
 
     def storage_load(self, address: str, slot: int) -> int:
         return int(self._backend_get(f"storage/{address}/{slot:x}", 0))

@@ -46,7 +46,13 @@ class Transaction:
 
     @property
     def size_bytes(self) -> int:
-        return 110 + len(self.data) + len(self.code)
+        # Stashed on first use: the same Transaction object is sized by every
+        # replica that prices/journals it (hot path at large n).
+        size = self.__dict__.get("_size_memo")
+        if size is None:
+            size = 110 + len(self.data) + len(self.code)
+            object.__setattr__(self, "_size_memo", size)
+        return size
 
     @staticmethod
     def create(sender: str, code: bytes, value: int = 0, gas_limit: int = 1_000_000) -> "Transaction":

@@ -1,28 +1,54 @@
 """The mini-EVM interpreter.
 
-A classic fetch-decode-execute loop over the opcode subset defined in
-:mod:`repro.evm.opcodes`: a 256-bit word stack, byte-addressed memory, gas
-accounting, contract storage through :class:`~repro.evm.state.WorldState`, and
-nested ``CALL``s with bounded depth.  Execution is fully deterministic, which
-is what the replication layer requires ("the fact that EVM bytecode is
-deterministic ensures that the new state digest will be equal in all
-non-faulty replicas", Section IV).
+A 256-bit word stack, byte-addressed memory, gas accounting, contract storage
+through :class:`~repro.evm.state.WorldState`, and nested ``CALL``s with
+bounded depth.  Execution is fully deterministic, which is what the
+replication layer requires ("the fact that EVM bytecode is deterministic
+ensures that the new state digest will be equal in all non-faulty replicas",
+Section IV).
+
+Two engines share these semantics:
+
+* ``decoded`` (the default): runs over the pre-decoded instruction stream of
+  :mod:`repro.evm.predecode` — PUSH immediates parsed once per code blob,
+  direct handler references, O(1) jump resolution.
+* ``naive``: the original fetch-decode-execute loop over raw bytes, retained
+  as the differential-testing reference (``tests/test_evm_properties.py``
+  fuzzes both engines against each other).
+
+Both engines validate jump targets against the *instruction-boundary*
+JUMPDEST set: a ``0x5b`` byte inside PUSH immediate data is not a valid jump
+target (the naive loop historically accepted it).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional
+from typing import List, Optional, Tuple
 
 from repro.crypto.hashing import sha256_int
 from repro.errors import EVMError, OutOfGas
 from repro.evm.opcodes import OPCODES, Op
+
+# The execution limits are owned by predecode (both engines must agree on
+# them byte for byte) and re-exported here for the public API.
+from repro.evm.predecode import (
+    MAX_STACK,
+    MAX_STEPS,
+    WORD,
+    compute_valid_jumpdests,
+    predecode,
+    run_decoded,
+)
 from repro.evm.state import WorldState
 
-WORD = 2**256
-MAX_STACK = 1024
 MAX_CALL_DEPTH = 64
-MAX_STEPS = 100_000
+#: Per-frame memory bound.  The Frontier gas model here does not charge for
+#: memory expansion, so without a cap a single ``MLOAD`` with a 2^200 offset
+#: would ask Python for an impossible allocation and crash the *host* process
+#: (found by the differential fuzzer).  Exceeding the cap is a deterministic
+#: in-VM failure instead.
+MAX_MEMORY = 1 << 24
 
 
 def _to_signed(value: int) -> int:
@@ -66,6 +92,19 @@ class BlockContext:
 class _Frame:
     """One execution frame (stack, memory, program counter, gas)."""
 
+    __slots__ = (
+        "code",
+        "message",
+        "stack",
+        "memory",
+        "pc",
+        "gas_remaining",
+        "logs",
+        "halt",
+        "program",
+        "valid_jumpdests",
+    )
+
     def __init__(self, code: bytes, message: Message):
         self.code = code
         self.message = message
@@ -74,6 +113,11 @@ class _Frame:
         self.pc = 0
         self.gas_remaining = message.gas
         self.logs: List[tuple] = []
+        # Decoded engine: the outcome of a halting instruction and the
+        # pre-decoded program.  Naive engine: the valid JUMPDEST set.
+        self.halt: Optional[Tuple[bytes, bool, Optional[str]]] = None
+        self.program = None
+        self.valid_jumpdests: Optional[frozenset] = None
 
     # -- stack ----------------------------------------------------------
     def push(self, value: int) -> None:
@@ -89,6 +133,8 @@ class _Frame:
     # -- memory ---------------------------------------------------------
     def _ensure_memory(self, offset: int, length: int) -> None:
         end = offset + length
+        if end > MAX_MEMORY:
+            raise EVMError(f"memory limit exceeded (need {end} bytes)")
         if end > len(self.memory):
             self.memory.extend(b"\x00" * (end - len(self.memory)))
 
@@ -116,11 +162,25 @@ class _Frame:
 
 
 class EVM:
-    """The interpreter.  One instance can execute many messages."""
+    """The interpreter.  One instance can execute many messages.
 
-    def __init__(self, state: WorldState, block: Optional[BlockContext] = None):
+    ``engine`` selects the execution strategy: ``"decoded"`` (default) runs
+    the pre-decoded instruction stream, ``"naive"`` the byte-at-a-time
+    reference loop.  Both produce identical results, gas accounting, logs and
+    state effects.
+    """
+
+    def __init__(
+        self,
+        state: WorldState,
+        block: Optional[BlockContext] = None,
+        engine: str = "decoded",
+    ):
+        if engine not in ("decoded", "naive"):
+            raise ValueError(f"unknown EVM engine {engine!r}")
         self.state = state
         self.block = block or BlockContext()
+        self.engine = engine
 
     # ------------------------------------------------------------------
     # Public entry points
@@ -137,7 +197,17 @@ class EVM:
             return ExecutionResult(success=True, gas_used=0)
         frame = _Frame(run_code, message)
         try:
-            result = self._run(frame)
+            if self.engine == "decoded":
+                frame.program = predecode(run_code)
+                run_decoded(self, frame)
+                halt = frame.halt
+                if halt is None:
+                    result = self._finish(frame, b"", True)
+                else:
+                    result = self._finish(frame, halt[0], halt[1], error=halt[2])
+            else:
+                frame.valid_jumpdests = compute_valid_jumpdests(run_code)
+                result = self._run(frame)
         except OutOfGas as exc:
             return ExecutionResult(success=False, error=str(exc), gas_used=message.gas, logs=frame.logs)
         except EVMError as exc:
@@ -146,7 +216,7 @@ class EVM:
         return result
 
     # ------------------------------------------------------------------
-    # Interpreter loop
+    # Naive interpreter loop (the differential-testing reference)
     # ------------------------------------------------------------------
     def _run(self, frame: _Frame) -> ExecutionResult:
         code = frame.code
@@ -174,12 +244,12 @@ class EVM:
                 offset, length = frame.pop(), frame.pop()
                 return self._finish(frame, frame.mslice(offset, length), False, error="revert")
             if op is Op.JUMP:
-                frame.pc = self._jump_target(code, frame.pop())
+                frame.pc = self._jump_target(frame, frame.pop())
                 continue
             if op is Op.JUMPI:
                 target, condition = frame.pop(), frame.pop()
                 if condition:
-                    frame.pc = self._jump_target(code, target)
+                    frame.pc = self._jump_target(frame, target)
                 continue
             if op is Op.JUMPDEST:
                 continue
@@ -218,8 +288,10 @@ class EVM:
         )
 
     @staticmethod
-    def _jump_target(code: bytes, target: int) -> int:
-        if target >= len(code) or code[target] != int(Op.JUMPDEST):
+    def _jump_target(frame: _Frame, target: int) -> int:
+        # A valid target is a JUMPDEST *at an instruction boundary*; a 0x5b
+        # byte inside PUSH immediate data is data, not a jump destination.
+        if target not in frame.valid_jumpdests:
             raise EVMError(f"invalid jump target {target}")
         return target
 

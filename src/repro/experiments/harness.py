@@ -18,12 +18,14 @@ parallel runs produce results identical to serial ones.
 
 from __future__ import annotations
 
+import platform
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence
+from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.metrics.collector import RunResult
 from repro.protocols.cluster import ClusterResult, build_cluster
 from repro.sim.faults import FaultPlan
+from repro.version import __version__
 from repro.workloads.kv_workload import KVWorkload
 
 
@@ -150,6 +152,96 @@ def run_points(
         with ProcessPoolExecutor(max_workers=min(jobs, len(specs))) as pool:
             return list(pool.map(worker, specs))
     return [worker(spec) for spec in specs]
+
+
+def emit_benchmark_json(rows: List[Dict], group: str, commit_info: Optional[Dict] = None) -> Dict:
+    """Wrap sweep rows in a ``pytest-benchmark --benchmark-json`` document.
+
+    Shared by the scale sweep and the smart-contract sweep so every committed
+    ``BENCH_*.json`` trajectory baseline has the same shape.  Rows must carry
+    ``label`` and ``wall_seconds``; the full row is preserved in
+    ``extra_info`` (which is what :func:`check_per_event_regression` gates
+    on).
+    """
+    benchmarks = []
+    for row in rows:
+        wall = float(row["wall_seconds"])
+        params = {key: row[key] for key in ("protocol", "topology", "f", "n") if key in row}
+        benchmarks.append(
+            {
+                "group": group,
+                "name": f"{group}[{row['label']}]",
+                "fullname": f"benchmarks/{group}.py::{group}[{row['label']}]",
+                "params": params,
+                "stats": {
+                    "min": wall,
+                    "max": wall,
+                    "mean": wall,
+                    "stddev": 0.0,
+                    "median": wall,
+                    "rounds": 1,
+                    "iterations": 1,
+                    "ops": (1.0 / wall) if wall > 0 else 0.0,
+                },
+                "extra_info": dict(row),
+            }
+        )
+    return {
+        "machine_info": {
+            "python_version": platform.python_version(),
+            "platform": platform.platform(),
+            "repro_version": __version__,
+        },
+        "commit_info": dict(commit_info or {}),
+        "benchmarks": benchmarks,
+    }
+
+
+def check_per_event_regression(
+    rows: List[Dict], baseline_document: Dict, max_regression: float
+) -> Tuple[bool, str]:
+    """Compare wall-clock per simulated event against a baseline document.
+
+    Matches sweep points by label against the baseline's ``extra_info`` and
+    computes the geometric-mean ratio (current / baseline) over the common
+    points — the committed baseline may have been produced at a larger
+    ``--scale``, so a small smoke sweep only gates on the overlap.  Per-point
+    cost prefers ``cpu_us_per_event`` (immune to worker-process contention in
+    ``--jobs`` runs) and falls back to the wall-clock metrics for older
+    baselines — always comparing the *same* metric on both sides, since the
+    per-event and per-message figures are incommensurable.  Returns
+    ``(ok, human-readable message)``; ``ok`` is false when the mean ratio
+    exceeds ``max_regression``.
+    """
+    metric_keys = ("cpu_us_per_event", "wall_us_per_event", "wall_us_per_message")
+    baseline = {}
+    for bench in baseline_document.get("benchmarks", []):
+        extra = bench.get("extra_info", {})
+        label = extra.get("label")
+        if label:
+            baseline[label] = extra
+    ratios = []
+    for row in rows:
+        base_extra = baseline.get(row["label"])
+        if not base_extra:
+            continue
+        for key in metric_keys:
+            base = base_extra.get(key)
+            current = row.get(key)
+            if base and current:
+                ratios.append(float(current) / float(base))
+                break
+    if not ratios:
+        return True, "perf check skipped: no sweep points in common with the baseline"
+    geomean = 1.0
+    for ratio in ratios:
+        geomean *= ratio
+    geomean **= 1.0 / len(ratios)
+    message = (
+        f"wall-clock per simulated event: {geomean:.2f}x the baseline over "
+        f"{len(ratios)} common point(s) (limit {max_regression:.2f}x)"
+    )
+    return geomean <= max_regression, message
 
 
 def format_table(rows: Iterable[Dict], columns: Optional[Sequence[str]] = None) -> str:

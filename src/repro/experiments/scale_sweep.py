@@ -29,7 +29,6 @@ from __future__ import annotations
 
 import argparse
 import json
-import platform
 import sys
 import time
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
@@ -38,12 +37,13 @@ from repro.errors import ConfigurationError
 from repro.experiments.harness import (
     ExperimentScale,
     add_jobs_argument,
+    check_per_event_regression,
     format_table,
     result_row,
     run_kv_point,
     run_points,
 )
-from repro.version import __version__
+from repro.experiments.harness import emit_benchmark_json as _emit_benchmark_json
 
 #: Replication factors per sweep scale.  ``f`` values translate to
 #: ``n = 3f + 1`` replicas: small sweeps 4..25 replicas, medium to 49, and
@@ -137,84 +137,7 @@ def run_scale_sweep(
 
 def emit_benchmark_json(rows: List[Dict], scale_name: str) -> Dict:
     """Wrap sweep rows in a ``--benchmark-json``-compatible document."""
-    benchmarks = []
-    for row in rows:
-        wall = float(row["wall_seconds"])
-        benchmarks.append(
-            {
-                "group": "scale-sweep",
-                "name": f"scale_sweep[{row['label']}]",
-                "fullname": f"benchmarks/scale_sweep.py::scale_sweep[{row['label']}]",
-                "params": {"protocol": row["protocol"], "f": row["f"], "n": row["n"]},
-                "stats": {
-                    "min": wall,
-                    "max": wall,
-                    "mean": wall,
-                    "stddev": 0.0,
-                    "median": wall,
-                    "rounds": 1,
-                    "iterations": 1,
-                    "ops": (1.0 / wall) if wall > 0 else 0.0,
-                },
-                "extra_info": dict(row),
-            }
-        )
-    return {
-        "machine_info": {
-            "python_version": platform.python_version(),
-            "platform": platform.platform(),
-            "repro_version": __version__,
-        },
-        "commit_info": {"scale": scale_name},
-        "benchmarks": benchmarks,
-    }
-
-
-def check_per_event_regression(
-    rows: List[Dict], baseline_document: Dict, max_regression: float
-) -> Tuple[bool, str]:
-    """Compare wall-clock per simulated event against a baseline document.
-
-    Matches sweep points by label against the baseline's ``extra_info`` and
-    computes the geometric-mean ratio (current / baseline) over the common
-    points — the committed baseline may have been produced at a larger
-    ``--scale``, so a small smoke sweep only gates on the overlap.  Per-point
-    cost prefers ``cpu_us_per_event`` (immune to worker-process contention in
-    ``--jobs`` runs) and falls back to the wall-clock metrics for older
-    baselines — always comparing the *same* metric on both sides, since the
-    per-event and per-message figures are incommensurable.  Returns
-    ``(ok, human-readable message)``; ``ok`` is false when the mean ratio
-    exceeds ``max_regression``.
-    """
-    metric_keys = ("cpu_us_per_event", "wall_us_per_event", "wall_us_per_message")
-    baseline = {}
-    for bench in baseline_document.get("benchmarks", []):
-        extra = bench.get("extra_info", {})
-        label = extra.get("label")
-        if label:
-            baseline[label] = extra
-    ratios = []
-    for row in rows:
-        base_extra = baseline.get(row["label"])
-        if not base_extra:
-            continue
-        for key in metric_keys:
-            base = base_extra.get(key)
-            current = row.get(key)
-            if base and current:
-                ratios.append(float(current) / float(base))
-                break
-    if not ratios:
-        return True, "perf check skipped: no sweep points in common with the baseline"
-    geomean = 1.0
-    for ratio in ratios:
-        geomean *= ratio
-    geomean **= 1.0 / len(ratios)
-    message = (
-        f"wall-clock per simulated event: {geomean:.2f}x the baseline over "
-        f"{len(ratios)} common point(s) (limit {max_regression:.2f}x)"
-    )
-    return geomean <= max_regression, message
+    return _emit_benchmark_json(rows, group="scale-sweep", commit_info={"scale": scale_name})
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:

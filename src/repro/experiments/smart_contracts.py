@@ -12,15 +12,65 @@ reports:
 synthetic Ethereum-like workload; :func:`single_node_baseline` measures the
 unreplicated execution rate implied by the same cost model, so the
 "replication slowdown" rows of the paper can be recomputed.
+
+:func:`run_smart_contract_sweep` gives the table the scale-sweep treatment:
+one row per (protocol, topology, f) point carrying both the simulated metrics
+*and* the harness cost (wall/CPU seconds, wall/CPU microseconds per simulated
+event) that the EVM pre-decode and the deployment-shared execution cache
+target.  Points are independent fixed-seed simulations, so ``--jobs N`` fans
+them out over worker processes with rows identical to a serial run, and every
+measurement round starts from a cold execution cache so the recorded cost is
+the reproducible first-execution-plus-(n-1)-replays path.  The CLI mirrors
+``scale_sweep``::
+
+    PYTHONPATH=src python -m repro.experiments.smart_contracts \
+        --scale small --rounds 3 --output BENCH_smart_contracts.json
+    PYTHONPATH=src python -m repro.experiments.smart_contracts \
+        --scale small --jobs 2 --check-against BENCH_smart_contracts.json
+
+``BENCH_smart_contracts.json`` at the repo root is the committed trajectory
+baseline; CI runs the second form as a perf gate.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence
+import argparse
+import json
+import sys
+import time
+from typing import Dict, List, Optional, Sequence, Tuple
 
+from repro.errors import ConfigurationError
+from repro.experiments.harness import (
+    add_jobs_argument,
+    check_per_event_regression,
+    emit_benchmark_json,
+    format_table,
+    result_row,
+    run_points,
+)
 from repro.protocols.cluster import build_cluster
-from repro.services.ledger import LedgerService, ledger_operation
+from repro.services.ledger import LedgerService, clear_execution_cache, ledger_operation
 from repro.workloads.ethereum_workload import EthereumWorkload, SyntheticTrace
+
+#: Sweep grids per scale: replication factors, stream length and client count.
+#: ``f`` translates to ``n = 3f + 1`` (PBFT) or ``n = 3f + 2c + 1`` (SBFT with
+#: redundant servers, ``c = max(1, f // 8)`` as in the scale sweep).
+SWEEP_F_VALUES: Dict[str, Sequence[int]] = {
+    "small": (2, 4),
+    "medium": (4, 8),
+    "paper": (16, 64),
+}
+SWEEP_NUM_TRANSACTIONS: Dict[str, int] = {
+    "small": 600,
+    "medium": 1500,
+    "paper": 2000,
+}
+SWEEP_TOPOLOGIES: Tuple[str, ...] = ("continent", "world")
+SWEEP_PROTOCOLS: Tuple[str, ...] = ("sbft-c8", "pbft")
+SWEEP_NUM_CLIENTS = 8
+SWEEP_BLOCK_BATCH = 4
+SWEEP_MAX_SIM_TIME = 600.0
 
 
 def single_node_baseline(num_transactions: int = 1_000, seed: int = 7) -> Dict[str, float]:
@@ -48,6 +98,129 @@ def single_node_baseline(num_transactions: int = 1_000, seed: int = 7) -> Dict[s
     }
 
 
+def _sbft_c(protocol: str, f: int) -> Optional[int]:
+    return max(1, f // 8) if protocol == "sbft-c8" else None
+
+
+def _run_table_point(
+    protocol: str,
+    topology: str,
+    f: int,
+    c: Optional[int],
+    num_clients: int,
+    num_transactions: int,
+    block_batch: int,
+    seed: int,
+    max_sim_time: float,
+    label: str,
+):
+    cluster = build_cluster(
+        protocol,
+        f=f,
+        c=c,
+        num_clients=num_clients,
+        topology=topology,
+        batch_size=block_batch,
+        seed=seed,
+    )
+    workload = EthereumWorkload(
+        num_transactions=num_transactions,
+        num_accounts=100,
+        num_clients=num_clients,
+        seed=7,
+    )
+    return cluster.run(workload, max_sim_time=max_sim_time, label=label)
+
+
+def _sweep_point_worker(spec: Tuple) -> Dict:
+    """Run one (protocol, topology, f) sweep point; module-level so it pickles
+    for :func:`repro.experiments.harness.run_points` worker processes.
+
+    ``rounds`` fixed-seed repetitions are run and the minimum wall-clock one
+    is reported (min-of-N is the standard noise filter for trajectory
+    baselines).  The deployment-shared execution cache is cleared before
+    every round so each repetition measures the same cold path: the first
+    replica interprets each block, its n-1 peers replay the recorded delta.
+    """
+    protocol, topology, f, num_transactions, num_clients, block_batch, seed, rounds = spec
+    c = _sbft_c(protocol, f)
+    label = f"{protocol}/{topology}/f={f}"
+    best = None
+    for _ in range(max(1, rounds)):
+        clear_execution_cache()
+        started = time.perf_counter()
+        cpu_started = time.process_time()
+        result = _run_table_point(
+            protocol,
+            topology,
+            f,
+            c,
+            num_clients,
+            num_transactions,
+            block_batch,
+            seed,
+            SWEEP_MAX_SIM_TIME,
+            label,
+        )
+        # Both clocks, as in the scale sweep: wall for human-facing cost, CPU
+        # for the perf gate (contention-immune under --jobs).
+        wall = time.perf_counter() - started
+        cpu = time.process_time() - cpu_started
+        if best is None or wall < best[0]:
+            best = (wall, cpu, result)
+    wall, cpu, result = best
+    n = 3 * f + (2 * c + 1 if c else 1)
+    row = result_row(
+        result,
+        protocol=protocol,
+        topology=topology,
+        f=f,
+        n=n,
+        clients=num_clients,
+        transactions=result.completed_operations,
+        throughput_tps=round(result.throughput, 1),
+        wall_seconds=round(wall, 4),
+        cpu_seconds=round(cpu, 4),
+        sim_seconds=round(result.sim_time, 4),
+        events_processed=result.events_processed,
+    )
+    row["wall_us_per_event"] = round(1e6 * wall / max(1, result.events_processed), 2)
+    row["cpu_us_per_event"] = round(1e6 * cpu / max(1, result.events_processed), 2)
+    return row
+
+
+def run_smart_contract_sweep(
+    scale_name: str = "small",
+    protocols: Sequence[str] = SWEEP_PROTOCOLS,
+    topologies: Sequence[str] = SWEEP_TOPOLOGIES,
+    f_values: Optional[Sequence[int]] = None,
+    num_transactions: Optional[int] = None,
+    num_clients: int = SWEEP_NUM_CLIENTS,
+    block_batch: int = SWEEP_BLOCK_BATCH,
+    seed: int = 0,
+    rounds: int = 1,
+    jobs: int = 1,
+) -> List[Dict]:
+    """Run the smart-contract sweep; one row per (protocol, topology, f).
+
+    Rows carry the simulated protocol metrics plus harness wall/CPU cost per
+    simulated event.  With ``jobs > 1`` the points run in worker processes;
+    every point is an independent fixed-seed simulation, so rows are
+    identical to a serial run and stay in grid order.
+    """
+    if f_values is None:
+        f_values = SWEEP_F_VALUES.get(scale_name, SWEEP_F_VALUES["small"])
+    if num_transactions is None:
+        num_transactions = SWEEP_NUM_TRANSACTIONS.get(scale_name, SWEEP_NUM_TRANSACTIONS["small"])
+    specs = [
+        (protocol, topology, f, num_transactions, num_clients, block_batch, seed, rounds)
+        for f in f_values
+        for topology in topologies
+        for protocol in protocols
+    ]
+    return run_points(_sweep_point_worker, specs, jobs=jobs)
+
+
 def run_smart_contract_benchmark(
     f: int = 2,
     c_sbft: int = 1,
@@ -71,22 +244,18 @@ def run_smart_contract_benchmark(
     for topology in topologies:
         for protocol in protocols:
             c = c_sbft if protocol == "sbft-c8" else None
-            cluster = build_cluster(
+            result = _run_table_point(
                 protocol,
-                f=f,
-                c=c,
-                num_clients=num_clients,
-                topology=topology,
-                batch_size=block_batch,
-                seed=seed,
+                topology,
+                f,
+                c,
+                num_clients,
+                num_transactions,
+                block_batch,
+                seed,
+                max_sim_time,
+                f"{protocol}/{topology}",
             )
-            workload = EthereumWorkload(
-                num_transactions=num_transactions,
-                num_accounts=100,
-                num_clients=num_clients,
-                seed=7,
-            )
-            result = cluster.run(workload, max_sim_time=max_sim_time, label=f"{protocol}/{topology}")
             rows.append(
                 {
                     "label": f"{protocol} ({topology} WAN)",
@@ -114,3 +283,68 @@ def slowdown_vs_baseline(rows: List[Dict]) -> Dict[str, float]:
         if row["throughput_tps"] > 0:
             slowdowns[row["label"]] = round(baseline["throughput_tps"] / row["throughput_tps"], 2)
     return slowdowns
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--scale", default="small", choices=sorted(SWEEP_F_VALUES))
+    parser.add_argument("--protocols", nargs="+", default=list(SWEEP_PROTOCOLS))
+    parser.add_argument("--topologies", nargs="+", default=list(SWEEP_TOPOLOGIES))
+    parser.add_argument("--clients", type=int, default=SWEEP_NUM_CLIENTS)
+    parser.add_argument("--block-batch", type=int, default=SWEEP_BLOCK_BATCH)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--rounds",
+        type=int,
+        default=1,
+        help="fixed-seed repetitions per point; the min-wall-clock round is "
+        "reported (use 3 when regenerating the committed baseline)",
+    )
+    parser.add_argument("--output", default=None, help="write --benchmark-json-style output here")
+    add_jobs_argument(parser)
+    parser.add_argument(
+        "--check-against",
+        default=None,
+        metavar="BASELINE_JSON",
+        help="fail if wall-clock per simulated event regresses against this "
+        "--benchmark-json baseline (the CI perf smoke gate)",
+    )
+    parser.add_argument(
+        "--max-regression",
+        type=float,
+        default=2.0,
+        help="allowed per-event wall-clock ratio vs --check-against (default 2.0)",
+    )
+    args = parser.parse_args(argv)
+
+    try:
+        rows = run_smart_contract_sweep(
+            scale_name=args.scale,
+            protocols=args.protocols,
+            topologies=args.topologies,
+            num_clients=args.clients,
+            block_batch=args.block_batch,
+            seed=args.seed,
+            rounds=args.rounds,
+            jobs=args.jobs,
+        )
+    except ConfigurationError as error:
+        parser.error(str(error))
+    print(format_table(rows))
+    if args.output:
+        document = emit_benchmark_json(rows, group="smart-contracts", commit_info={"scale": args.scale})
+        with open(args.output, "w", encoding="utf-8") as handle:
+            json.dump(document, handle, indent=1, sort_keys=True)
+        print(f"wrote {args.output}")
+    if args.check_against:
+        with open(args.check_against, "r", encoding="utf-8") as handle:
+            baseline_document = json.load(handle)
+        ok, message = check_per_event_regression(rows, baseline_document, args.max_regression)
+        print(("OK: " if ok else "FAIL: ") + message)
+        if not ok:
+            return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

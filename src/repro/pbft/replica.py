@@ -23,6 +23,7 @@ from typing import Any, Dict, List, Optional, Tuple
 
 from repro.core.config import SBFTConfig
 from repro.core.messages import ClientReply, ClientRequest, PrePrepare
+from repro.core.replica import block_execution_plan
 from repro.crypto.costs import CryptoCosts, DEFAULT_COSTS
 from repro.crypto.hashing import block_digest, sha256_hex
 from repro.crypto.signatures import SigningKey, VerifyKey
@@ -375,18 +376,9 @@ class PBFTReplica(Process):
         slot = self._slots.get(self.last_executed + 1)
         if slot is None or not slot.committed or slot.executed or slot.pre_prepare is None:
             return
-        operations = self._flatten(slot.pre_prepare.requests)
-        cost = sum(self.service.execution_cost(op) for op in operations)
-        cost += self.costs.hash_op * max(1, len(operations))
+        _operations, cost = block_execution_plan(slot.pre_prepare, self.service, self.costs)
         self._executing = True
         self.compute(cost, self._finish_execution, slot.sequence)
-
-    @staticmethod
-    def _flatten(requests: Tuple[ClientRequest, ...]) -> List[Operation]:
-        operations: List[Operation] = []
-        for request in requests:
-            operations.extend(request.operations)
-        return operations
 
     def _finish_execution(self, sequence: int) -> None:
         self._executing = False
@@ -394,7 +386,7 @@ class PBFTReplica(Process):
         if slot is None or slot.executed or not slot.committed or sequence != self.last_executed + 1:
             self._try_execute()
             return
-        operations = self._flatten(slot.pre_prepare.requests)
+        operations, _cost = block_execution_plan(slot.pre_prepare, self.service, self.costs)
         slot.execution_results = self.service.execute_block(sequence, operations)
         slot.executed = True
         self.last_executed = sequence

@@ -78,7 +78,7 @@ _operation_digest_memo: Dict[Any, str] = {}
 _result_digest_memo: Dict[Any, str] = {}
 
 
-def _operation_digest(operation: Operation) -> str:
+def operation_digest(operation: Operation) -> str:
     # Replicas all journal the *same* Operation object (operations travel
     # inside shared message objects), so the digest is stashed directly on
     # the instance: one hash per cluster, and no memo-key construction at
@@ -103,19 +103,35 @@ def _operation_digest(operation: Operation) -> str:
     return cached
 
 
+#: Back-compat private alias (the public name is :func:`operation_digest`,
+#: which the ledger's execution cache also keys on).
+_operation_digest = operation_digest
+
+
 def _result_digest(result: OperationResult) -> str:
     # Only the return value is committed: it is what the client receives in an
-    # execute-ack and checks against the proof (Section V-A).
+    # execute-ack and checks against the proof (Section V-A).  Results are
+    # shared frozen instances (KV singletons, ledger replay tuples), so the
+    # digest is stashed on the instance first; the keyed memo then catches
+    # value-equal copies with hashable values.  Unhashable values (the
+    # ledger's dict results) fall through to the stash-only path, which is
+    # exactly where instance sharing pays off.
+    digest = result.__dict__.get("_authkv_rdigest")
+    if digest is not None:
+        return digest
     key = memo_key(result.value)
     try:
         cached = _result_digest_memo.get(key)
     except TypeError:
-        return sha256_hex("result", result.value)
+        cached = sha256_hex("result", result.value)
+        object.__setattr__(result, "_authkv_rdigest", cached)
+        return cached
     if cached is None:
         cached = sha256_hex("result", result.value)
         if len(_result_digest_memo) >= _DIGEST_MEMO_LIMIT:
             _result_digest_memo.clear()
         _result_digest_memo[key] = cached
+    object.__setattr__(result, "_authkv_rdigest", cached)
     return cached
 
 
@@ -228,6 +244,16 @@ class AuthenticatedKVStore(AuthenticatedService):
     def digest(self) -> str:
         """Current state digest (the tip of the hash chain)."""
         return self._chain_digest
+
+    def contents_digest(self) -> str:
+        """Digest of the raw key-value contents (not the journal chain).
+
+        The chain digest only commits to *journaled* blocks; direct writes
+        (genesis allocations, unreplicated baselines) bypass it.  The ledger's
+        execution cache therefore fingerprints the raw contents once and
+        relies on the chain digest for everything journaled afterwards.
+        """
+        return self._store.contents_digest()
 
     def digest_at(self, sequence: int) -> str:
         """State digest right after executing block ``sequence``."""

@@ -11,6 +11,7 @@ import copy
 from dataclasses import dataclass
 from typing import Any, Dict, Optional
 
+from repro.crypto.hashing import sha256_hex
 from repro.services.interface import Operation, OperationResult, ReplicatedService
 
 #: Shared constant results for the mutation fast paths.  ``OperationResult``
@@ -102,3 +103,12 @@ class KVStore(ReplicatedService):
 
     def keys(self):
         return self._data.keys()
+
+    def contents_digest(self) -> str:
+        """Order-independent digest of the full key-value contents.
+
+        Used by the ledger's execution cache as a state fingerprint: two
+        stores with equal contents produce equal digests.  O(store size) —
+        callers are expected to memoize.
+        """
+        return sha256_hex("kv-contents", sorted(self._data.items()))

@@ -4,19 +4,47 @@ This is the topmost layer of Section IV's architecture: ledger operations are
 EVM transactions, state (accounts, code, contract storage) lives in the
 authenticated key-value store, and execution costs are derived from gas used
 so the replication benchmarks see realistic per-transaction work.
+
+**Deployment-shared execution cache.**  "EVM bytecode is deterministic [so]
+the new state digest will be equal in all non-faulty replicas" (Section IX) —
+which means the n replicas of a cluster all interpret the *identical*
+committed block over the *identical* pre-state and produce the identical
+results.  Re-interpreting it n times is pure waste in a simulation where all
+replicas share one process.  ``execute_block`` therefore consults a
+module-level cache keyed entirely by digests:
+
+    (state fingerprint, chain digest, block number, sequence,
+     per-operation digests)
+
+The first replica to execute a committed block stores the operation results,
+transaction receipts and the ordered state delta (the backend ``put`` stream);
+its n-1 peers replay the delta and journal the same results instead of
+re-running the EVM.  Replay is decision-for-decision identical: same results,
+same receipts, same journal entries, same chain digest, and the *simulated*
+``execution_cost`` accounting is untouched (every replica still charges the
+same simulated CPU; only host wall-clock is saved).  The cache is bounded and
+cleared wholesale at the limit, like the digest memos — only recomputation is
+at stake, never correctness (``tests/test_execution_cache.py`` pins
+cache-on/cache-off byte-equality on fixed-seed clusters).
+
+The state fingerprint covers what the chain digest cannot: direct
+(unjournaled) writes such as genesis allocations.  It is computed lazily from
+the full store contents and invalidated whenever the state mutates outside
+``execute_block``, so a ledger that diverges through direct ``apply`` calls
+can never hit a stale entry.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, List, Optional, Sequence
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from repro.crypto.costs import CryptoCosts, DEFAULT_COSTS
 from repro.errors import InvalidTransaction
 from repro.evm.state import WorldState
 from repro.evm.transactions import Transaction, TransactionReceipt, apply_transaction
 from repro.evm.vm import EVM, BlockContext
-from repro.services.authenticated_kv import AuthenticatedKVStore
+from repro.services.authenticated_kv import AuthenticatedKVStore, operation_digest
 from repro.services.interface import (
     AuthenticatedService,
     ExecutionProof,
@@ -24,10 +52,70 @@ from repro.services.interface import (
     OperationResult,
 )
 
+#: Cluster-wide execution cache: first replica executes, peers replay.
+#: Entries are ``(results, receipts, puts)`` tuples of immutables.
+_EXEC_CACHE: Dict[Tuple, Tuple] = {}
+_EXEC_CACHE_LIMIT = 1 << 12
+_EXEC_CACHE_STATS = {"hits": 0, "misses": 0}
+_exec_cache_enabled = True
+
+
+def set_execution_cache_enabled(enabled: bool) -> bool:
+    """Toggle the deployment-shared execution cache; returns the old value."""
+    global _exec_cache_enabled
+    previous = _exec_cache_enabled
+    _exec_cache_enabled = bool(enabled)
+    return previous
+
+
+def execution_cache_enabled() -> bool:
+    return _exec_cache_enabled
+
+
+def clear_execution_cache() -> None:
+    """Drop all cached block executions (and reset the hit/miss counters)."""
+    _EXEC_CACHE.clear()
+    _EXEC_CACHE_STATS["hits"] = 0
+    _EXEC_CACHE_STATS["misses"] = 0
+
+
+def execution_cache_stats() -> Dict[str, int]:
+    return dict(_EXEC_CACHE_STATS, size=len(_EXEC_CACHE))
+
 
 def ledger_operation(transaction: Transaction, client_id: int = -1, timestamp: int = 0) -> Operation:
     """Wrap an EVM transaction as a replicated-service operation."""
     return Operation(kind="ledger", payload=transaction, client_id=client_id, timestamp=timestamp)
+
+
+class _LedgerBackend:
+    """The world state's store backend, instrumented for the execution cache.
+
+    Delegates every read/write to the authenticated store.  While a block is
+    being executed for the first time, writes are additionally appended to
+    ``record`` (the state delta peers will replay).  Writes outside block
+    execution (genesis funding, direct ``apply``, unreplicated baselines)
+    invalidate the owner's state fingerprint so diverged ledgers never share
+    cache entries.
+    """
+
+    __slots__ = ("_authkv", "_owner", "record")
+
+    def __init__(self, authkv: AuthenticatedKVStore, owner: "LedgerService"):
+        self._authkv = authkv
+        self._owner = owner
+        self.record: Optional[List[Tuple[str, Any]]] = None
+
+    def get(self, key: str) -> Any:
+        return self._authkv.get(key)
+
+    def put(self, key: str, value: Any) -> None:
+        record = self.record
+        if record is not None:
+            record.append((key, value))
+        elif not self._owner._in_block:
+            self._owner._state_fingerprint = None
+        self._authkv.put(key, value)
 
 
 class LedgerService(AuthenticatedService):
@@ -36,9 +124,12 @@ class LedgerService(AuthenticatedService):
     def __init__(self, costs: CryptoCosts = DEFAULT_COSTS, persist_cost_per_byte: Optional[float] = None):
         persist = costs.persist_per_byte if persist_cost_per_byte is None else persist_cost_per_byte
         self._authkv = AuthenticatedKVStore(persist_cost_per_byte=persist)
-        self._world = WorldState(backend=self._authkv)
+        self._backend = _LedgerBackend(self._authkv, self)
+        self._world = WorldState(backend=self._backend)
         self._block_number = 0
         self._costs = costs
+        self._in_block = False
+        self._state_fingerprint: Optional[str] = None
         self.receipts: List[TransactionReceipt] = []
 
     # ------------------------------------------------------------------
@@ -63,13 +154,19 @@ class LedgerService(AuthenticatedService):
     # ReplicatedService
     # ------------------------------------------------------------------
     def execute(self, operation: Operation) -> OperationResult:
+        evm = EVM(self._world, BlockContext(number=self._block_number))
+        return self._execute_with(operation, evm)
+
+    def _execute_with(self, operation: Operation, evm: EVM) -> OperationResult:
+        """Execute one operation through a caller-provided EVM instance."""
         transaction = operation.payload
         if not isinstance(transaction, Transaction):
             return OperationResult(ok=False, error="not a ledger transaction")
         try:
-            receipt = self.apply(transaction)
+            receipt = apply_transaction(self._world, transaction, evm)
         except InvalidTransaction as exc:
             return OperationResult(ok=False, error=str(exc))
+        self.receipts.append(receipt)
         return OperationResult(
             value={
                 "success": receipt.success,
@@ -92,27 +189,82 @@ class LedgerService(AuthenticatedService):
 
     def execute_block(self, sequence: int, operations: Sequence[Operation]) -> List[OperationResult]:
         self._block_number += 1
-        # Delegate journaling to the authenticated store so proofs cover the
-        # ledger results; the store executes each operation via our execute().
-        results = []
-        wrapped = _BlockJournal(self._authkv, sequence)
-        for position, operation in enumerate(operations):
-            result = self.execute(operation)
-            wrapped.record(position, operation, result)
-            results.append(result)
-        wrapped.seal()
+
+        cache_key = None
+        if _exec_cache_enabled:
+            fingerprint = self._state_fingerprint
+            if fingerprint is None:
+                fingerprint = self._authkv.contents_digest()
+                self._state_fingerprint = fingerprint
+            cache_key = (
+                fingerprint,
+                self._authkv.digest(),
+                self._block_number,
+                sequence,
+                tuple(operation_digest(op) for op in operations),
+            )
+            cached = _EXEC_CACHE.get(cache_key)
+            if cached is not None:
+                _EXEC_CACHE_STATS["hits"] += 1
+                results, receipts, puts = cached
+                authkv = self._authkv
+                # Replay the recorded state delta instead of re-interpreting:
+                # same puts in the same order, applied directly (the delta is
+                # journal-covered, so the fingerprint stays valid).
+                for key, value in puts:
+                    authkv.put(key, value)
+                self.receipts.extend(receipts)
+                authkv.journal_block(sequence, list(operations), list(results))
+                return list(results)
+            _EXEC_CACHE_STATS["misses"] += 1
+
+        # First execution of this block in the deployment: run the EVM and —
+        # only when the cache can actually store the entry — record the state
+        # delta for the peers (the cache-off path skips the per-put append).
+        record: Optional[List[Tuple[str, Any]]] = None
+        if cache_key is not None:
+            self._in_block = True
+            record = []
+            self._backend.record = record
+        receipts_start = len(self.receipts)
+        try:
+            evm = EVM(self._world, BlockContext(number=self._block_number))
+            results = [self._execute_with(operation, evm) for operation in operations]
+        finally:
+            if cache_key is not None:
+                self._backend.record = None
+                self._in_block = False
+        self._authkv.journal_block(sequence, list(operations), results)
+
+        if cache_key is not None:
+            if len(_EXEC_CACHE) >= _EXEC_CACHE_LIMIT:
+                _EXEC_CACHE.clear()
+            _EXEC_CACHE[cache_key] = (
+                tuple(results),
+                tuple(self.receipts[receipts_start:]),
+                tuple(record),
+            )
         return results
 
     def execution_cost(self, operation: Operation) -> float:
+        # The cost of an operation is a pure function of the transaction and
+        # the cost model; every replica of a cluster (same cost model) charges
+        # it for the same shared Operation object, so it is stashed on the
+        # instance, guarded by the cost-model identity.
+        memo = operation.__dict__.get("_ledger_cost")
+        if memo is not None and memo[0] is self._costs:
+            return memo[1]
         transaction = operation.payload
         if not isinstance(transaction, Transaction):
             return 5e-6
         gas_estimate = min(transaction.gas_limit, 60_000)
-        return (
+        cost = (
             self._costs.evm_base_execute
             + self._costs.evm_per_gas * gas_estimate
             + self._costs.persist_per_byte * transaction.size_bytes
         )
+        object.__setattr__(operation, "_ledger_cost", (self._costs, cost))
+        return cost
 
     def snapshot(self) -> Any:
         return {"authkv": self._authkv.snapshot(), "block_number": self._block_number}
@@ -120,6 +272,9 @@ class LedgerService(AuthenticatedService):
     def restore(self, snapshot: Any) -> None:
         self._authkv.restore(snapshot["authkv"])
         self._block_number = snapshot["block_number"]
+        # Restored state was not built through this instance's journal chain;
+        # re-fingerprint before the next cached block.
+        self._state_fingerprint = None
 
     # ------------------------------------------------------------------
     # AuthenticatedService
@@ -143,26 +298,3 @@ class LedgerService(AuthenticatedService):
 
     def result_for(self, sequence: int, position: int) -> OperationResult:
         return self._authkv.result_for(sequence, position)
-
-
-class _BlockJournal:
-    """Records a ledger block in the authenticated store's journal.
-
-    The authenticated store normally journals blocks it executes itself; the
-    ledger executes operations through the EVM instead, so this helper feeds
-    the already-computed results into the same journal structures.
-    """
-
-    def __init__(self, authkv: AuthenticatedKVStore, sequence: int):
-        self._authkv = authkv
-        self._sequence = sequence
-        self._operations: List[Operation] = []
-        self._results: List[OperationResult] = []
-
-    def record(self, position: int, operation: Operation, result: OperationResult) -> None:
-        assert position == len(self._operations)
-        self._operations.append(operation)
-        self._results.append(result)
-
-    def seal(self) -> None:
-        self._authkv.journal_block(self._sequence, self._operations, self._results)

@@ -22,7 +22,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass
-from typing import List, Tuple
+from typing import List, Optional, Tuple
 
 from repro.evm.contracts import counter_contract, encode_call, storage_contract, token_contract
 from repro.evm.state import WorldState
@@ -82,8 +82,13 @@ class SyntheticTrace:
         return specs
 
     def genesis_contracts(self) -> List[Tuple[str, str]]:
-        """(kind, address) of every genesis contract."""
-        return [(kind, address) for kind, _code, address in self._genesis_specs]
+        """(kind, address) of every genesis contract (cached: the stream
+        generator draws from this list once per contract call)."""
+        contracts = self.__dict__.get("_genesis_contracts")
+        if contracts is None:
+            contracts = [(kind, address) for kind, _code, address in self._genesis_specs]
+            self._genesis_contracts = contracts
+        return contracts
 
     def genesis(self, ledger: LedgerService, balance: int = 10**12) -> None:
         """Fund all accounts and deploy the genesis contracts on a ledger."""
@@ -172,6 +177,7 @@ class EthereumWorkload:
             seed=seed,
         )
         self._chunks: List[List[Transaction]] = []
+        self._requests_by_client: Optional[List[List[List[Operation]]]] = None
 
     @property
     def trace(self) -> SyntheticTrace:
@@ -179,7 +185,10 @@ class EthereumWorkload:
 
     def set_num_clients(self, num_clients: int) -> None:
         """Tell the workload how many clients share the stream."""
-        self.num_clients = max(1, num_clients)
+        num_clients = max(1, num_clients)
+        if num_clients != self.num_clients:
+            self.num_clients = num_clients
+            self._requests_by_client = None
 
     def service_factory(self) -> LedgerService:
         """Each replica runs a ledger initialised from the same genesis."""
@@ -204,20 +213,34 @@ class EthereumWorkload:
         self._chunks = chunks
         return chunks
 
-    def client_operations(self, client_id: int) -> List[List[Operation]]:
-        """Requests for one client: its round-robin share of the chunks."""
-        requests: List[List[Operation]] = []
-        timestamp = 0
+    def _build_requests(self) -> List[List[List[Operation]]]:
+        """Memoized per-client request lists.
+
+        Wrapping every transaction in a :func:`ledger_operation` allocates an
+        ``Operation`` whose digest/size/cost are later stashed on the
+        instance, so building each exactly once (for all clients in a single
+        pass over the chunks) both avoids re-encoding identical calldata and
+        maximizes instance sharing downstream.
+        """
+        if self._requests_by_client is not None:
+            return self._requests_by_client
+        per_client: List[List[List[Operation]]] = [[] for _ in range(self.num_clients)]
+        timestamps = [0] * self.num_clients
         for index, chunk in enumerate(self._build_chunks()):
-            if index % self.num_clients != client_id % self.num_clients:
-                continue
+            client = index % self.num_clients
+            timestamp = timestamps[client]
             ops = [
-                ledger_operation(tx, client_id=client_id, timestamp=timestamp + position)
+                ledger_operation(tx, client_id=client, timestamp=timestamp + position)
                 for position, tx in enumerate(chunk)
             ]
-            requests.append(ops)
-            timestamp += len(chunk)
-        return requests
+            per_client[client].append(ops)
+            timestamps[client] = timestamp + len(chunk)
+        self._requests_by_client = per_client
+        return per_client
+
+    def client_operations(self, client_id: int) -> List[List[Operation]]:
+        """Requests for one client: its round-robin share of the chunks."""
+        return self._build_requests()[client_id % self.num_clients]
 
     def describe(self) -> str:
         return (

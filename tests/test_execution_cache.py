@@ -1,0 +1,72 @@
+"""Cluster-level invariants of the deployment-shared execution cache.
+
+ROADMAP "Hot-path invariants": replaying a cached block must be
+decision-for-decision identical to re-interpreting it — same per-replica
+``stats``, state digests, receipts, client results and network traffic for
+fixed seeds, with the cache on or off.
+"""
+
+import pytest
+
+from repro.protocols.cluster import build_cluster
+from repro.services.ledger import (
+    clear_execution_cache,
+    execution_cache_stats,
+    set_execution_cache_enabled,
+)
+from repro.workloads.ethereum_workload import EthereumWorkload
+
+
+def _run_cluster(protocol):
+    cluster = build_cluster(
+        protocol, f=1, c=1 if protocol == "sbft-c8" else None,
+        num_clients=2, topology="continent", batch_size=2, seed=3,
+    )
+    workload = EthereumWorkload(num_transactions=120, num_accounts=40, num_clients=2, seed=7)
+    result = cluster.run(workload, max_sim_time=600.0, label=protocol)
+    fingerprint = {
+        "replica_stats": {rid: dict(r.stats) for rid, r in cluster.replicas.items()},
+        "client_stats": {cid: dict(c.stats) for cid, c in cluster.clients.items()},
+        "digests": {rid: r.service.digest() for rid, r in cluster.replicas.items()},
+        "receipts": {rid: tuple(r.service.receipts) for rid, r in cluster.replicas.items()},
+        "events": result.events_processed,
+        "messages": result.network_messages,
+        "bytes": result.network_bytes,
+        "sim_time": result.sim_time,
+        "completed": result.completed_operations,
+        "mean_latency": result.mean_latency,
+    }
+    return fingerprint
+
+
+@pytest.mark.parametrize("protocol", ["sbft-c8", "pbft"])
+def test_fixed_seed_identical_with_cache_on_and_off(protocol):
+    clear_execution_cache()
+    try:
+        with_cache = _run_cluster(protocol)
+        stats = execution_cache_stats()
+        # The cache actually engaged: one miss per block, n-1 hits each.
+        assert stats["misses"] > 0
+        assert stats["hits"] >= stats["misses"]
+
+        previous = set_execution_cache_enabled(False)
+        try:
+            without_cache = _run_cluster(protocol)
+        finally:
+            set_execution_cache_enabled(previous)
+    finally:
+        clear_execution_cache()
+
+    assert with_cache == without_cache
+
+
+def test_cache_shared_across_replicas_within_one_run():
+    clear_execution_cache()
+    try:
+        _run_cluster("sbft-c8")
+        stats = execution_cache_stats()
+        n = 3 * 1 + 2 * 1 + 1  # f=1, c=1 -> 6 replicas
+        # Every block: first replica misses, the other n-1 replay.
+        assert stats["hits"] == (n - 1) * stats["misses"]
+    finally:
+        clear_execution_cache()

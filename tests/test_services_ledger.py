@@ -95,3 +95,108 @@ def test_receipts_recorded(ledger):
     ledger.apply(Transaction.create(ALICE, counter_contract()))
     assert len(ledger.receipts) == 2
     assert ledger.receipts[1].contract_address is not None
+
+
+# ----------------------------------------------------------------------
+# Deployment-shared execution cache
+# ----------------------------------------------------------------------
+
+from repro.services.ledger import (  # noqa: E402 - grouped with their tests
+    clear_execution_cache,
+    execution_cache_stats,
+    set_execution_cache_enabled,
+)
+
+
+@pytest.fixture
+def cold_cache():
+    """Isolate each cache test from cluster tests sharing the process."""
+    clear_execution_cache()
+    yield
+    clear_execution_cache()
+
+
+def _funded_ledger():
+    service = LedgerService()
+    service.fund(ALICE, 1_000_000)
+    service.fund(BOB, 1_000_000)
+    return service
+
+
+def _block(timestamp=0):
+    return [
+        ledger_operation(Transaction.transfer(ALICE, BOB, 100), timestamp=timestamp),
+        ledger_operation(Transaction.create(ALICE, counter_contract()), timestamp=timestamp + 1),
+    ]
+
+
+def test_peer_replica_replays_from_cache(cold_cache):
+    first, peer = _funded_ledger(), _funded_ledger()
+    operations = _block()
+    results_first = first.execute_block(1, operations)
+    assert execution_cache_stats()["misses"] == 1
+    results_peer = peer.execute_block(1, operations)
+    stats = execution_cache_stats()
+    assert stats["hits"] == 1 and stats["misses"] == 1
+
+    assert results_peer == results_first
+    assert peer.digest() == first.digest()
+    assert peer.receipts == first.receipts
+    assert peer.world.get_balance(BOB) == first.world.get_balance(BOB)
+    # Proofs over the replayed journal verify exactly like the original's.
+    proof = peer.prove(1, 0)
+    assert peer.verify(peer.digest(), operations[0], results_peer[0].value, 1, 0, proof)
+
+
+def test_cache_off_produces_identical_state(cold_cache):
+    operations = _block()
+    cached_a, cached_b = _funded_ledger(), _funded_ledger()
+    cached_a.execute_block(1, operations)
+    cached_b.execute_block(1, operations)
+
+    previous = set_execution_cache_enabled(False)
+    try:
+        plain = _funded_ledger()
+        plain.execute_block(1, operations)
+    finally:
+        set_execution_cache_enabled(previous)
+
+    assert plain.digest() == cached_a.digest() == cached_b.digest()
+    assert plain.receipts == cached_a.receipts == cached_b.receipts
+
+
+def test_direct_mutation_prevents_stale_cache_hit(cold_cache):
+    operations = [ledger_operation(Transaction.transfer(ALICE, BOB, 999_999))]
+    first = _funded_ledger()
+    assert first.execute_block(1, operations)[0].ok
+
+    # Same genesis, but a direct (unjournaled) apply drains ALICE before the
+    # block: a stale cache hit would wrongly report the transfer succeeding.
+    diverged = _funded_ledger()
+    diverged.apply(Transaction.transfer(ALICE, BOB, 999_500))
+    result = diverged.execute_block(1, operations)[0]
+    assert not result.ok
+    assert "insufficient balance" in result.error
+
+
+def test_restore_invalidates_fingerprint(cold_cache):
+    first = _funded_ledger()
+    first.execute_block(1, _block())
+    snapshot = first.snapshot()
+
+    other = LedgerService()
+    other.restore(snapshot)
+    # The restored ledger executes the next block correctly (fresh fingerprint,
+    # no stale reuse) and stays digest-identical with the original.
+    operations = [ledger_operation(Transaction.transfer(BOB, ALICE, 5), timestamp=7)]
+    assert other.execute_block(2, operations) == first.execute_block(2, operations)
+    assert other.digest() == first.digest()
+
+
+def test_execution_cost_is_cache_independent(cold_cache):
+    operation = ledger_operation(Transaction.transfer(ALICE, BOB, 1))
+    first, peer = _funded_ledger(), _funded_ledger()
+    cost_before = first.execution_cost(operation)
+    first.execute_block(1, [operation])
+    peer.execute_block(1, [operation])  # replayed from cache
+    assert peer.execution_cost(operation) == cost_before == first.execution_cost(operation)
