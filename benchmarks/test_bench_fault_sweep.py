@@ -1,0 +1,62 @@
+"""Fault sweep — performance under failure as a benchmark (Section VIII).
+
+One row per (protocol, topology, scenario) point of the scripted fault
+timelines; rows carry the windowed throughput/latency timeline and the
+before/during/after-fault phase aggregates next to the harness wall-clock.
+``REPRO_BENCH_SCALE`` picks the sweep size like the other benchmarks.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from conftest import attach_rows
+from repro.experiments.fault_sweep import SCENARIOS, SWEEP_SCALES, run_fault_sweep
+
+
+def _sweep_name() -> str:
+    name = os.environ.get("REPRO_BENCH_SCALE", "small")
+    return name if name in SWEEP_SCALES else "small"
+
+
+@pytest.mark.parametrize("protocol", ["sbft-c0", "pbft"])
+def test_fault_sweep(benchmark, protocol):
+    sweep = _sweep_name()
+
+    def run():
+        return run_fault_sweep(scale_name=sweep, protocols=[protocol])
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    # The timeline payloads are too wide for the printed table; attach a
+    # compact view and keep the full rows in extra_info via the JSON output.
+    compact = [
+        {k: v for k, v in row.items() if k not in ("timeline", "phases")} for row in rows
+    ]
+    attach_rows(benchmark, compact)
+
+    assert len(rows) == len(SCENARIOS)
+    for row in rows:
+        assert row["all_completed"], f"requests lost at {row['label']}"
+        assert row["recovered"], f"no post-fault progress at {row['label']}"
+        # A row whose workload outran the scripted timeline measures nothing.
+        assert row["faults_fired"] == row["faults_planned"], f"faults skipped at {row['label']}"
+        assert row["timeline"], f"missing timeline at {row['label']}"
+        assert set(row["phases"]) == {"before", "during", "after"}
+
+
+def _stable(rows):
+    """Strip the host-timing columns (wall/cpu clocks vary run to run)."""
+    return [
+        {k: v for k, v in row.items() if not k.startswith(("wall", "cpu"))}
+        for row in rows
+    ]
+
+
+def test_fault_sweep_deterministic():
+    """The sweep is a pure function of its seed (same rows, same timelines)."""
+    kwargs = dict(scale_name="small", protocols=["sbft-c0"], scenarios=["faulty-primary"], seed=5)
+    first = run_fault_sweep(**kwargs)
+    second = run_fault_sweep(**kwargs)
+    assert _stable(first) == _stable(second)

@@ -102,6 +102,20 @@ class SBFTConfig:
         """Fast-path restriction: only sequences within ``le + win/4`` (Section V-F)."""
         return max(1, self.window // self.active_window_divisor)
 
+    @property
+    def state_transfer_lag(self) -> int:
+        """Executed-sequence lag beyond which a replica fetches a snapshot.
+
+        A replica more than this far behind an observed checkpoint or
+        execution certificate cannot close the gap from its own log (the
+        missed pre-prepares are gone), so it re-syncs via state transfer —
+        the rejoin path after a restart rides on this.  Two checkpoint
+        periods of slack avoid spurious transfers during ordinary execution
+        lag; the ``window // 2`` cap keeps the bound meaningful when the
+        checkpoint interval is large.
+        """
+        return min(self.window // 2, 2 * self.checkpoint_every)
+
     # ------------------------------------------------------------------
     # Variant helpers
     # ------------------------------------------------------------------

@@ -70,7 +70,7 @@ from repro.core.viewchange import (
 from repro.crypto.costs import CryptoCosts, DEFAULT_COSTS
 from repro.crypto.hashing import block_digest, sha256_hex
 from repro.crypto.threshold import CombinedSignature
-from repro.errors import CryptoError
+from repro.errors import ConfigurationError, CryptoError
 from repro.services.interface import AuthenticatedService, Operation, ReplicatedService
 from repro.sim.events import Simulator
 from repro.sim.network import Network
@@ -150,6 +150,10 @@ class SBFTReplica(Process):
 
         # Checkpoint state (used when execution collectors are disabled).
         self._checkpoint_shares: Dict[int, Dict[int, Any]] = {}
+
+        # State-transfer throttle (one outstanding request per lag position).
+        self._state_transfer_seq = -1
+        self._state_transfer_at = float("-inf")
 
         # Fault-injection behaviour (None = honest).
         self.byzantine_mode: Optional[str] = None
@@ -233,17 +237,56 @@ class SBFTReplica(Process):
     # ==================================================================
     # Byzantine behaviour hooks (used by fault injection and tests)
     # ==================================================================
+
+    #: Adversarial behaviours this replica implements.
+    BYZANTINE_MODES = frozenset({"silent", "bad-shares", "equivocate", "stale-viewchange"})
+
     def activate_byzantine(self, mode: str) -> None:
         """Switch this replica to an adversarial behaviour.
 
         Supported modes: ``silent`` (receive but never send), ``bad-shares``
         (send invalid signature shares), ``equivocate`` (as primary, propose
-        conflicting blocks to different replicas).
+        conflicting blocks to different replicas), ``stale-viewchange`` (send
+        view-change messages with outdated ``last_stable`` and no evidence).
+        Unknown modes raise instead of silently configuring a no-op adversary.
         """
+        if mode not in self.BYZANTINE_MODES:
+            raise ConfigurationError(
+                f"unknown byzantine mode {mode!r} for {type(self).__name__} "
+                f"(known: {', '.join(sorted(self.BYZANTINE_MODES))})"
+            )
         self.byzantine_mode = mode
 
     def _silenced(self) -> bool:
         return self.byzantine_mode == "silent"
+
+    # ==================================================================
+    # Restart / rejoin (driven by the ``restart`` fault)
+    # ==================================================================
+    def rejoin(self) -> None:
+        """Recover from a crash and re-sync via the state-transfer machinery.
+
+        ``crash()`` dropped every timer and any in-flight ``compute`` callback
+        (their completions no-op on a crashed node), so all timer handles and
+        the execution-in-progress flag are stale and must be cleared.  The
+        replica then asks a peer for a state snapshot; if the cluster made no
+        progress while it was down, the request simply goes unanswered and
+        the replica catches up through the normal protocol flow (commits,
+        execute proofs and stable checkpoints re-trigger state transfer when
+        it lags too far).
+        """
+        if not self.crashed:
+            return
+        self.recover()
+        self._executing = False
+        self._batch_timer = None
+        self._view_change_timer = None
+        self._view_change_attempts = 0
+        for slot in (self.log.peek(s) for s in self.log.sequences()):
+            if slot is not None:
+                slot.fast_path_timer = None
+        self._request_state_transfer()
+        self._try_execute()
 
     # ==================================================================
     # Sending helpers
@@ -790,7 +833,7 @@ class SBFTReplica(Process):
         if slot.execute_proof is None:
             slot.execute_proof = message.pi_signature
         self._advance_stable(message.sequence)
-        if self.last_executed + self.config.window // 2 < message.sequence:
+        if self.last_executed + self.config.state_transfer_lag < message.sequence:
             self._request_state_transfer(hint=src)
         self._maybe_send_execute_acks(message.sequence)
 
@@ -911,7 +954,7 @@ class SBFTReplica(Process):
         if not self.keys.pi.verify_message(message.pi_signature, sign_message):
             return
         self._advance_stable(message.sequence)
-        if self.last_executed + self.config.window // 2 < message.sequence:
+        if self.last_executed + self.config.state_transfer_lag < message.sequence:
             self._request_state_transfer(hint=src)
 
     def _advance_stable(self, sequence: int) -> None:
@@ -960,6 +1003,19 @@ class SBFTReplica(Process):
 
     def build_view_change(self, new_view: int) -> ViewChange:
         """Construct this replica's view-change message for ``new_view``."""
+        if self.byzantine_mode == "stale-viewchange":
+            # Adversary: pretend to know nothing — claim a zero stable point
+            # with no proof and carry no slot evidence.  The new-view plan
+            # must tolerate this (the honest quorum's evidence dominates),
+            # and a forged ``last_stable > 0`` claim without a valid π proof
+            # is rejected by the stable-point computation either way.
+            return ViewChange(
+                new_view=new_view,
+                replica_id=self.node_id,
+                last_stable=0,
+                stable_proof=None,
+                slots=(),
+            )
         slots: List[SlotEvidence] = []
         top = self.last_stable + self.config.window
         for sequence in self.log.sequences():
@@ -1118,12 +1174,23 @@ class SBFTReplica(Process):
     # State transfer (Section VIII; follows the PBFT mechanism)
     # ==================================================================
     def _request_state_transfer(self, hint: Optional[int] = None) -> None:
+        # Throttle: while lagging, every peer's checkpoint/execute-proof
+        # re-triggers this; without a guard each would draw a full snapshot
+        # response, inflating the very traffic counters the benchmarks
+        # measure.  Re-request only after progress or a retry window.
+        if (
+            self._state_transfer_seq == self.last_executed
+            and self.sim.now - self._state_transfer_at < self.config.client_retry_timeout
+        ):
+            return
         target = hint
         if target is None or target == self.node_id:
             candidates = [r for r in range(self.config.n) if r != self.node_id]
             target = candidates[self.sim.rng.randrange(len(candidates))] if candidates else None
         if target is None:
             return
+        self._state_transfer_seq = self.last_executed
+        self._state_transfer_at = self.sim.now
         self.stats["state_transfers"] += 1
         self._send(target, StateTransferRequest(replica_id=self.node_id, from_sequence=self.last_executed))
 

@@ -128,18 +128,21 @@ def compute_new_view_plan(
 
 
 def _highest_valid_stable(messages: List[ViewChange], pi: Optional[ThresholdScheme]) -> int:
+    """Highest ``last_stable`` claim backed by evidence.
+
+    A claim of 0 needs no proof (it cannot advance anything); any claim above
+    the current best must carry a π execution certificate that verifies —
+    a stale or forged view-change message without a valid ``stable_proof``
+    cannot advance the stable point.
+    """
     best = 0
     for message in messages:
         if message.last_stable <= best:
             continue
-        if message.last_stable == 0 or message.stable_proof is None:
-            candidate_ok = message.last_stable == 0
-        else:
-            candidate_ok = pi is None or pi.verify(message.stable_proof)
-        if candidate_ok:
-            best = max(best, message.last_stable)
-        elif message.stable_proof is not None and (pi is None or pi.verify(message.stable_proof)):
-            best = max(best, message.last_stable)
+        if message.stable_proof is None:
+            continue
+        if pi is None or pi.verify(message.stable_proof):
+            best = message.last_stable
     return best
 
 

@@ -1,0 +1,428 @@
+"""Fault sweep — performance under failure, over time (Section VIII).
+
+The paper's headline claim is not only fast-path throughput but *graceful
+degradation*: with up to ``c`` crashed or slow replicas the fast path falls
+back to linear-PBFT, and a view change recovers liveness under a faulty
+primary.  A scalar throughput number cannot show any of that — the signal is
+the shape of the run: the dip when backups crash, the stall while the view
+change elects a new primary, the ramp back up after a partition heals.
+
+This sweep runs a (protocol × topology × scenario) grid where each scenario
+is a scripted fault timeline (all activation times are **absolute simulation
+times**), and reports per point:
+
+* a windowed time series — operations/second and latency per bucket — and
+* before / during / after-fault phase aggregates,
+
+so fast-path→slow-path fallback and recovery are visible as data.  Scenarios:
+
+* ``crash-backups``   — ``f`` backups crash mid-run and stay down; the
+  cluster falls back to the linear-PBFT path and keeps committing.
+* ``slow-stragglers`` — ``f`` backups become 8× stragglers, then heal.
+* ``faulty-primary``  — the primary crashes while a backup spreads stale
+  view-change messages; a view change recovers liveness.
+* ``partition-heal``  — ``f`` backups are partitioned away, then the
+  partition heals and the minority catches up.
+* ``crash-restart``   — ``f`` backups crash, then restart and re-sync via
+  the checkpoint/state-transfer machinery.
+
+The CLI mirrors ``scale_sweep`` / ``smart_contracts``::
+
+    PYTHONPATH=src python -m repro.experiments.fault_sweep \
+        --scale small --rounds 3 --output BENCH_fault_sweep.json
+    PYTHONPATH=src python -m repro.experiments.fault_sweep \
+        --scale small --jobs 2 --check-against BENCH_fault_sweep.json
+
+Every sweep point is an independent fixed-seed simulation, so ``--jobs N``
+fans points out over worker processes with rows identical to a serial run.
+``BENCH_fault_sweep.json`` at the repo root is the committed trajectory
+baseline (regenerate with ``--rounds 3``); ``--check-against`` gates on CPU
+time per simulated event like the other sweeps.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import ConfigurationError
+from repro.experiments.harness import (
+    add_jobs_argument,
+    check_per_event_regression,
+    emit_benchmark_json,
+    format_table,
+    protocol_sizes,
+    result_row,
+    run_points,
+)
+from repro.protocols.cluster import build_cluster
+from repro.sim.faults import FaultPlan
+from repro.workloads.kv_workload import KVWorkload
+
+#: Width of one timeline bucket, seconds of simulated time.
+TIMELINE_BUCKET = 0.25
+
+#: Shared protocol timer overrides: short enough that fallback, view change
+#: and client retry all happen within the scripted timelines below.
+CONFIG_OVERRIDES = {
+    "fast_path_timeout": 0.05,
+    "batch_timeout": 0.01,
+    "view_change_timeout": 1.0,
+    "client_retry_timeout": 1.5,
+    "checkpoint_interval": 8,
+}
+
+
+@dataclass(frozen=True)
+class FaultScenario:
+    """One scripted fault timeline.
+
+    ``fault_start`` and ``fault_end`` are absolute simulation times bounding
+    the *during* phase: for transient scenarios ``fault_end`` is when the
+    recovery action (heal / restart) fires; for permanent ones it is when the
+    degraded steady state is expected to have settled.  ``build_plan`` maps
+    ``(protocol, n, f, c)`` to the scenario's :class:`FaultPlan`.
+    """
+
+    name: str
+    fault_start: float
+    fault_end: float
+    description: str
+    build_plan: Callable[[str, int, int, int], FaultPlan]
+
+
+def _crash_backups_plan(protocol: str, n: int, f: int, c: int) -> FaultPlan:
+    return FaultPlan.crash_backups(f, n, at_time=1.0)
+
+
+def _slow_stragglers_plan(protocol: str, n: int, f: int, c: int) -> FaultPlan:
+    stragglers = list(range(n - f, n))
+    plan = FaultPlan.slow(stragglers, factor=8.0, at_time=1.0)
+    return plan.extend(FaultPlan.heal(stragglers, at_time=3.0))
+
+
+def _faulty_primary_plan(protocol: str, n: int, f: int, c: int) -> FaultPlan:
+    plan = FaultPlan.crash_first(1, at_time=1.0)
+    if protocol != "pbft":
+        # One backup (never the next primary, replica 1) additionally spreads
+        # stale view-change messages; the dual-mode view change must tolerate
+        # its empty evidence.  PBFT implements no Byzantine view-change
+        # adversary, so there the scenario is a plain primary crash.
+        plan = plan.extend(FaultPlan.byzantine([n - 1], mode="stale-viewchange", at_time=0.0))
+    return plan
+
+
+def _partition_heal_plan(protocol: str, n: int, f: int, c: int) -> FaultPlan:
+    minority = list(range(n - f, n))
+    plan = FaultPlan.partition(minority, n, at_time=1.0)
+    return plan.extend(FaultPlan.heal(minority, at_time=3.0))
+
+
+def _crash_restart_plan(protocol: str, n: int, f: int, c: int) -> FaultPlan:
+    crashed = list(range(n - f, n))
+    plan = FaultPlan.crash_first(f, node_ids=crashed, at_time=1.0)
+    return plan.extend(FaultPlan.restart(crashed, at_time=3.0))
+
+
+SCENARIOS: Dict[str, FaultScenario] = {
+    scenario.name: scenario
+    for scenario in (
+        FaultScenario(
+            name="crash-backups",
+            fault_start=1.0,
+            fault_end=2.0,
+            description="f backups crash and stay down (fast path -> linear-PBFT)",
+            build_plan=_crash_backups_plan,
+        ),
+        FaultScenario(
+            name="slow-stragglers",
+            fault_start=1.0,
+            fault_end=3.0,
+            description="f backups become 8x stragglers, then heal",
+            build_plan=_slow_stragglers_plan,
+        ),
+        FaultScenario(
+            name="faulty-primary",
+            fault_start=1.0,
+            fault_end=2.5,
+            description="primary crashes (+ stale view-changes); view change recovers",
+            build_plan=_faulty_primary_plan,
+        ),
+        FaultScenario(
+            name="partition-heal",
+            fault_start=1.0,
+            fault_end=3.0,
+            description="f backups partitioned away, partition heals",
+            build_plan=_partition_heal_plan,
+        ),
+        FaultScenario(
+            name="crash-restart",
+            fault_start=1.0,
+            fault_end=3.0,
+            description="f backups crash, restart and re-sync via state transfer",
+            build_plan=_crash_restart_plan,
+        ),
+    )
+}
+
+DEFAULT_PROTOCOLS: Tuple[str, ...] = ("sbft-c0", "pbft")
+DEFAULT_TOPOLOGIES: Tuple[str, ...] = ("continent",)
+
+
+@dataclass(frozen=True)
+class FaultSweepScale:
+    """How big to run one fault-sweep point."""
+
+    name: str
+    f: int
+    num_clients: int
+    requests_per_client: int
+    kv_batch: int
+    block_batch: int
+    max_sim_time: float
+
+
+#: ``requests_per_client`` must keep every (protocol, scenario) point busy
+#: past the latest ``fault_end`` (3.0 s), so that heal/restart actions fire
+#: and the *after* phase has data even for the protocol/scenario pairs that
+#: degrade the least (PBFT barely notices f crashed backups).
+SWEEP_SCALES: Dict[str, FaultSweepScale] = {
+    "small": FaultSweepScale("small", f=1, num_clients=6, requests_per_client=32,
+                             kv_batch=4, block_batch=4, max_sim_time=120.0),
+    "medium": FaultSweepScale("medium", f=2, num_clients=8, requests_per_client=40,
+                              kv_batch=4, block_batch=8, max_sim_time=240.0),
+    "paper": FaultSweepScale("paper", f=4, num_clients=16, requests_per_client=48,
+                             kv_batch=8, block_batch=8, max_sim_time=600.0),
+}
+
+
+def run_fault_point(
+    protocol: str,
+    topology: str,
+    scenario: FaultScenario,
+    scale: FaultSweepScale,
+    seed: int = 0,
+    label: Optional[str] = None,
+):
+    """Run one (protocol, topology, scenario) point; returns a ClusterResult
+    whose RunResult carries the windowed timeline and phase aggregates, plus
+    ``faults_planned``/``faults_fired`` in ``run.extra`` — a row whose
+    workload finished before the scripted timeline (so faults never fired)
+    measures nothing, and these counters make that visible."""
+    n, c = protocol_sizes(protocol, scale.f)
+    plan = scenario.build_plan(protocol, n, scale.f, c)
+    cluster = build_cluster(
+        protocol,
+        f=scale.f,
+        c=c if protocol == "sbft-c8" else None,
+        num_clients=scale.num_clients,
+        topology=topology,
+        batch_size=scale.block_batch,
+        seed=seed,
+        fault_plan=plan,
+        config_overrides=dict(CONFIG_OVERRIDES),
+    )
+    workload = KVWorkload(
+        requests_per_client=scale.requests_per_client,
+        batch_size=scale.kv_batch,
+        seed=seed + 1,
+    )
+    result = cluster.run(
+        workload,
+        max_sim_time=scale.max_sim_time,
+        label=label or f"{protocol}/{topology}/{scenario.name}",
+        timeline_bucket=TIMELINE_BUCKET,
+        fault_phase=(scenario.fault_start, scenario.fault_end),
+    )
+    result.run.extra["faults_planned"] = len(plan)
+    result.run.extra["faults_fired"] = (
+        len(cluster.injector.applied) if cluster.injector is not None else 0
+    )
+    return result
+
+
+def _sweep_point_worker(spec: Tuple) -> Dict:
+    """Run one sweep point; module-level so it pickles for
+    :func:`repro.experiments.harness.run_points` worker processes.
+
+    ``rounds`` fixed-seed repetitions are run and the minimum-wall-clock one
+    is reported (min-of-N, as in the other trajectory baselines); the
+    simulated rows are identical across rounds by construction.
+    """
+    protocol, topology, scenario_name, scale_name, seed, rounds = spec
+    scenario = SCENARIOS[scenario_name]
+    scale = SWEEP_SCALES[scale_name]
+    label = f"{protocol}/{topology}/{scenario_name}"
+    best = None
+    for _ in range(max(1, rounds)):
+        started = time.perf_counter()
+        cpu_started = time.process_time()
+        result = run_fault_point(protocol, topology, scenario, scale, seed=seed, label=label)
+        wall = time.perf_counter() - started
+        cpu = time.process_time() - cpu_started
+        if best is None or wall < best[0]:
+            best = (wall, cpu, result)
+    wall, cpu, result = best
+    run = result.run
+    n, _c = protocol_sizes(protocol, scale.f)
+    expected = scale.num_clients * scale.requests_per_client
+    row = result_row(
+        result,
+        protocol=protocol,
+        topology=topology,
+        scenario=scenario_name,
+        f=scale.f,
+        n=n,
+        clients=scale.num_clients,
+        completed_requests=run.completed_requests,
+        expected_requests=expected,
+        all_completed=run.completed_requests >= expected,
+        recovered=bool(run.phases and run.phases["after"]["throughput_ops"] > 0),
+        fault_start=scenario.fault_start,
+        fault_end=scenario.fault_end,
+        wall_seconds=round(wall, 4),
+        cpu_seconds=round(cpu, 4),
+        sim_seconds=round(result.sim_time, 4),
+        events_processed=result.events_processed,
+    )
+    row["wall_us_per_event"] = round(1e6 * wall / max(1, result.events_processed), 2)
+    row["cpu_us_per_event"] = round(1e6 * cpu / max(1, result.events_processed), 2)
+    row["phases"] = run.phases
+    row["timeline"] = run.timeline.as_rows() if run.timeline is not None else []
+    return row
+
+
+def run_fault_sweep(
+    scale_name: str = "small",
+    protocols: Sequence[str] = DEFAULT_PROTOCOLS,
+    topologies: Sequence[str] = DEFAULT_TOPOLOGIES,
+    scenarios: Optional[Sequence[str]] = None,
+    seed: int = 0,
+    rounds: int = 1,
+    jobs: int = 1,
+) -> List[Dict]:
+    """Run the sweep; one row per (protocol, topology, scenario) point.
+
+    Rows carry the scalar run summary, the windowed ``timeline``, the
+    ``phases`` aggregates and the harness wall/CPU cost per simulated event.
+    With ``jobs > 1`` the points run in worker processes; every point is an
+    independent fixed-seed simulation, so rows are identical to a serial run
+    and stay in grid order.
+    """
+    if scale_name not in SWEEP_SCALES:
+        raise ConfigurationError(f"unknown fault-sweep scale {scale_name!r}")
+    names = list(scenarios) if scenarios is not None else list(SCENARIOS)
+    for name in names:
+        if name not in SCENARIOS:
+            raise ConfigurationError(
+                f"unknown fault scenario {name!r} (known: {', '.join(SCENARIOS)})"
+            )
+    specs = [
+        (protocol, topology, scenario_name, scale_name, seed, rounds)
+        for protocol in protocols
+        for topology in topologies
+        for scenario_name in names
+    ]
+    return run_points(_sweep_point_worker, specs, jobs=jobs)
+
+
+#: Row keys shown in the CLI table (the timeline/phase payloads are too wide).
+TABLE_COLUMNS = (
+    "label",
+    "scenario",
+    "n",
+    "throughput_ops",
+    "mean_latency_ms",
+    "completed_requests",
+    "expected_requests",
+    "recovered",
+    "sim_seconds",
+    "wall_seconds",
+    "cpu_us_per_event",
+)
+
+
+def _format_phase_lines(rows: List[Dict]) -> str:
+    lines = []
+    for row in rows:
+        phases = row.get("phases") or {}
+        parts = []
+        for phase in ("before", "during", "after"):
+            data = phases.get(phase)
+            if data:
+                parts.append(
+                    f"{phase} {data['throughput_ops']:.0f} ops/s "
+                    f"@ {data['mean_latency_ms']:.0f} ms"
+                )
+        lines.append(f"  {row['label']}: " + "; ".join(parts))
+    return "\n".join(lines)
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--scale", default="small", choices=sorted(SWEEP_SCALES))
+    parser.add_argument("--protocols", nargs="+", default=list(DEFAULT_PROTOCOLS))
+    parser.add_argument("--topologies", nargs="+", default=list(DEFAULT_TOPOLOGIES))
+    parser.add_argument("--scenarios", nargs="+", default=None, choices=sorted(SCENARIOS))
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--rounds",
+        type=int,
+        default=1,
+        help="fixed-seed repetitions per point; the min-wall-clock round is "
+        "reported (use 3 when regenerating the committed baseline)",
+    )
+    parser.add_argument("--output", default=None, help="write --benchmark-json-style output here")
+    add_jobs_argument(parser)
+    parser.add_argument(
+        "--check-against",
+        default=None,
+        metavar="BASELINE_JSON",
+        help="fail if CPU time per simulated event regresses against this "
+        "--benchmark-json baseline (the CI perf smoke gate)",
+    )
+    parser.add_argument(
+        "--max-regression",
+        type=float,
+        default=2.0,
+        help="allowed per-event cost ratio vs --check-against (default 2.0)",
+    )
+    args = parser.parse_args(argv)
+
+    try:
+        rows = run_fault_sweep(
+            scale_name=args.scale,
+            protocols=args.protocols,
+            topologies=args.topologies,
+            scenarios=args.scenarios,
+            seed=args.seed,
+            rounds=args.rounds,
+            jobs=args.jobs,
+        )
+    except ConfigurationError as error:
+        parser.error(str(error))
+    print(format_table(rows, columns=[c for c in TABLE_COLUMNS]))
+    print()
+    print("phase aggregates (before / during / after fault):")
+    print(_format_phase_lines(rows))
+    if args.output:
+        document = emit_benchmark_json(rows, group="fault-sweep", commit_info={"scale": args.scale})
+        with open(args.output, "w", encoding="utf-8") as handle:
+            json.dump(document, handle, indent=1, sort_keys=True)
+        print(f"wrote {args.output}")
+    if args.check_against:
+        with open(args.check_against, "r", encoding="utf-8") as handle:
+            baseline_document = json.load(handle)
+        ok, message = check_per_event_regression(rows, baseline_document, args.max_regression)
+        print(("OK: " if ok else "FAIL: ") + message)
+        if not ok:
+            return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

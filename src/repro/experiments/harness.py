@@ -87,6 +87,18 @@ SCALES: Dict[str, ExperimentScale] = {
 }
 
 
+def protocol_sizes(protocol: str, f: int) -> Tuple[int, int]:
+    """``(n, c)`` for one sweep point at replication factor ``f``.
+
+    The sweeps' shared convention: ``sbft-c8`` runs with ``c = max(1, f //
+    8)`` redundant servers (``n = 3f + 2c + 1``); every other variant runs
+    with ``c = 0`` (``n = 3f + 1``).  Single source of truth for the scale,
+    smart-contract and fault sweeps.
+    """
+    c = max(1, f // 8) if protocol == "sbft-c8" else 0
+    return 3 * f + 2 * c + 1, c
+
+
 def run_kv_point(
     protocol: str,
     scale: ExperimentScale,
@@ -221,6 +233,7 @@ def check_per_event_regression(
         if label:
             baseline[label] = extra
     ratios = []
+    metrics_used = set()
     for row in rows:
         base_extra = baseline.get(row["label"])
         if not base_extra:
@@ -230,6 +243,7 @@ def check_per_event_regression(
             current = row.get(key)
             if base and current:
                 ratios.append(float(current) / float(base))
+                metrics_used.add(key)
                 break
     if not ratios:
         return True, "perf check skipped: no sweep points in common with the baseline"
@@ -238,7 +252,7 @@ def check_per_event_regression(
         geomean *= ratio
     geomean **= 1.0 / len(ratios)
     message = (
-        f"wall-clock per simulated event: {geomean:.2f}x the baseline over "
+        f"{'/'.join(sorted(metrics_used))}: {geomean:.2f}x the baseline over "
         f"{len(ratios)} common point(s) (limit {max_regression:.2f}x)"
     )
     return geomean <= max_regression, message

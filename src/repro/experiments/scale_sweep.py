@@ -39,6 +39,7 @@ from repro.experiments.harness import (
     add_jobs_argument,
     check_per_event_regression,
     format_table,
+    protocol_sizes,
     result_row,
     run_kv_point,
     run_points,
@@ -60,7 +61,7 @@ def sweep_scale(name: str, f: int) -> ExperimentScale:
     return ExperimentScale(
         name=f"scale-sweep-{name}-f{f}",
         f=f,
-        c_for_sbft_c8=max(1, f // 8),
+        c_for_sbft_c8=protocol_sizes("sbft-c8", f)[1],
         client_counts=(16,),
         requests_per_client=4,
         block_batch=16,

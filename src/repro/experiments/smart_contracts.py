@@ -46,6 +46,7 @@ from repro.experiments.harness import (
     check_per_event_regression,
     emit_benchmark_json,
     format_table,
+    protocol_sizes,
     result_row,
     run_points,
 )
@@ -99,7 +100,7 @@ def single_node_baseline(num_transactions: int = 1_000, seed: int = 7) -> Dict[s
 
 
 def _sbft_c(protocol: str, f: int) -> Optional[int]:
-    return max(1, f // 8) if protocol == "sbft-c8" else None
+    return protocol_sizes(protocol, f)[1] or None
 
 
 def _run_table_point(
@@ -169,7 +170,7 @@ def _sweep_point_worker(spec: Tuple) -> Dict:
         if best is None or wall < best[0]:
             best = (wall, cpu, result)
     wall, cpu, result = best
-    n = 3 * f + (2 * c + 1 if c else 1)
+    n, _c = protocol_sizes(protocol, f)
     row = result_row(
         result,
         protocol=protocol,

@@ -4,27 +4,76 @@ The paper reports throughput (operations or transactions per second) and
 latency (average / median, milliseconds).  :class:`LatencyRecorder` collects
 per-request samples during a simulated run; :class:`RunResult` is the summary
 the cluster harness and the benchmark tables consume.
+
+For the performance-under-failure experiments (Section VIII) a scalar summary
+is not enough: the interesting signal is the *shape* of throughput and latency
+over time — the dip when replicas crash, the fast-path→linear-PBFT fallback,
+the view-change stall and the post-heal recovery.  :class:`Timeline` holds the
+completion samples bucketed into fixed windows, and can slice the run into
+before/during/after-fault phases for aggregate comparison.
 """
 
 from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Tuple
+
+
+@dataclass(frozen=True)
+class TimelineBucket:
+    """One fixed-width window of a run's completion stream."""
+
+    start: float
+    end: float
+    completed_requests: int
+    completed_operations: int
+    throughput: float        # operations per second within the window
+    mean_latency: float      # seconds; 0.0 for an empty window
+    max_latency: float       # seconds; 0.0 for an empty window
+
+    def as_row(self) -> Dict[str, float]:
+        return {
+            "t_start": round(self.start, 4),
+            "t_end": round(self.end, 4),
+            "completed_requests": self.completed_requests,
+            "completed_operations": self.completed_operations,
+            "throughput_ops": round(self.throughput, 2),
+            "mean_latency_ms": round(self.mean_latency * 1000.0, 2),
+            "max_latency_ms": round(self.max_latency * 1000.0, 2),
+        }
+
+
+@dataclass(frozen=True)
+class Timeline:
+    """Windowed throughput/latency rows over one run.
+
+    Buckets cover ``[0, duration)`` contiguously (empty windows are kept, so a
+    stall during a fault shows up as zero-throughput rows rather than a gap).
+    """
+
+    bucket_width: float
+    duration: float
+    buckets: Tuple[TimelineBucket, ...]
+
+    def as_rows(self) -> List[Dict[str, float]]:
+        return [bucket.as_row() for bucket in self.buckets]
 
 
 class LatencyRecorder:
     """Accumulates request completion samples during a run."""
 
     def __init__(self):
-        self._samples: List[float] = []
+        # One (completed_at, latency, operations) tuple per request; latency
+        # summaries, timelines and phase slices all derive from this list.
+        self._completions: List[Tuple[float, float, int]] = []
         self._operations = 0
         self.first_completion: Optional[float] = None
         self.last_completion: Optional[float] = None
 
     def record(self, issued_at: float, completed_at: float, operations: int = 1) -> None:
         """Record one completed request carrying ``operations`` operations."""
-        self._samples.append(completed_at - issued_at)
+        self._completions.append((completed_at, completed_at - issued_at, operations))
         self._operations += operations
         if self.first_completion is None:
             self.first_completion = completed_at
@@ -32,11 +81,11 @@ class LatencyRecorder:
 
     @property
     def samples(self) -> List[float]:
-        return list(self._samples)
+        return [latency for _completed_at, latency, _ops in self._completions]
 
     @property
     def completed_requests(self) -> int:
-        return len(self._samples)
+        return len(self._completions)
 
     @property
     def completed_operations(self) -> int:
@@ -50,11 +99,90 @@ class LatencyRecorder:
         return ordered[index]
 
     def percentile(self, fraction: float) -> float:
-        return self._percentile_of(sorted(self._samples), fraction)
+        return self._percentile_of(sorted(self.samples), fraction)
+
+    def timeline(self, bucket_width: float, duration: Optional[float] = None) -> Timeline:
+        """Bucket the completion stream into a :class:`Timeline`.
+
+        ``duration`` defaults to the last completion time; buckets cover the
+        whole run, including empty windows (visible stalls).
+        """
+        if bucket_width <= 0:
+            raise ValueError("bucket_width must be positive")
+        end = duration if duration is not None else (self.last_completion or 0.0)
+        num_buckets = max(1, math.ceil(end / bucket_width)) if end > 0 else 0
+        requests = [0] * num_buckets
+        operations = [0] * num_buckets
+        latency_sum = [0.0] * num_buckets
+        latency_max = [0.0] * num_buckets
+        for completed_at, latency, ops in self._completions:
+            index = min(num_buckets - 1, int(completed_at / bucket_width)) if num_buckets else 0
+            if index < 0 or not num_buckets:
+                continue
+            requests[index] += 1
+            operations[index] += ops
+            latency_sum[index] += latency
+            if latency > latency_max[index]:
+                latency_max[index] = latency
+        buckets = tuple(
+            TimelineBucket(
+                start=i * bucket_width,
+                end=min(end, (i + 1) * bucket_width),
+                completed_requests=requests[i],
+                completed_operations=operations[i],
+                # The final bucket may be clamped to the run's end; divide by
+                # the window it actually covers, not the nominal width.
+                throughput=operations[i] / (min(end, (i + 1) * bucket_width) - i * bucket_width),
+                mean_latency=latency_sum[i] / requests[i] if requests[i] else 0.0,
+                max_latency=latency_max[i],
+            )
+            for i in range(num_buckets)
+        )
+        return Timeline(bucket_width=bucket_width, duration=end, buckets=buckets)
+
+    def phase_summary(
+        self, fault_start: float, fault_end: float, duration: Optional[float] = None
+    ) -> Dict[str, Dict[str, float]]:
+        """Aggregate the run into before/during/after-fault phases.
+
+        ``fault_start``/``fault_end`` are absolute simulation times: *before*
+        is ``[0, fault_start)``, *during* ``[fault_start, fault_end)`` and
+        *after* ``[fault_end, duration]``.  Each phase row carries completed
+        operations, operations/second over the phase window and mean latency
+        of the requests that completed inside the phase.
+        """
+        end = duration if duration is not None else (self.last_completion or 0.0)
+        bounds = {
+            "before": (0.0, min(fault_start, end)),
+            "during": (min(fault_start, end), min(fault_end, end)),
+            "after": (min(fault_end, end), end),
+        }
+        summary: Dict[str, Dict[str, float]] = {}
+        for phase, (start, stop) in bounds.items():
+            window = stop - start
+            in_phase = [
+                (latency, ops)
+                for completed_at, latency, ops in self._completions
+                if start <= completed_at < stop or (phase == "after" and completed_at == stop)
+            ]
+            ops_total = sum(ops for _latency, ops in in_phase)
+            summary[phase] = {
+                "t_start": round(start, 4),
+                "t_end": round(stop, 4),
+                "completed_requests": len(in_phase),
+                "completed_operations": ops_total,
+                "throughput_ops": round(ops_total / window, 2) if window > 0 else 0.0,
+                "mean_latency_ms": round(
+                    1000.0 * sum(latency for latency, _ops in in_phase) / len(in_phase), 2
+                )
+                if in_phase
+                else 0.0,
+            }
+        return summary
 
     def summary(self, duration: float, label: str = "") -> "RunResult":
         """Summarize into a :class:`RunResult` over ``duration`` seconds."""
-        ordered = sorted(self._samples)  # sorted once, shared by the percentiles
+        ordered = sorted(self.samples)  # sorted once, shared by the percentiles
         mean = sum(ordered) / len(ordered) if ordered else 0.0
         return RunResult(
             label=label,
@@ -83,6 +211,9 @@ class RunResult:
     messages_sent: int = 0
     bytes_sent: int = 0
     extra: Dict[str, float] = field(default_factory=dict)
+    # Optional windowed view of the run (performance-under-failure sweeps).
+    timeline: Optional[Timeline] = None
+    phases: Optional[Dict[str, Dict[str, float]]] = None
 
     @property
     def mean_latency_ms(self) -> float:

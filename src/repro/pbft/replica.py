@@ -22,11 +22,18 @@ from __future__ import annotations
 from typing import Any, Dict, List, Optional, Tuple
 
 from repro.core.config import SBFTConfig
-from repro.core.messages import ClientReply, ClientRequest, PrePrepare
+from repro.core.messages import (
+    ClientReply,
+    ClientRequest,
+    PrePrepare,
+    StateTransferRequest,
+    StateTransferResponse,
+)
 from repro.core.replica import block_execution_plan
 from repro.crypto.costs import CryptoCosts, DEFAULT_COSTS
 from repro.crypto.hashing import block_digest, sha256_hex
 from repro.crypto.signatures import SigningKey, VerifyKey
+from repro.errors import ConfigurationError
 from repro.pbft.messages import (
     PbftCheckpoint,
     PbftCommit,
@@ -112,6 +119,10 @@ class PBFTReplica(Process):
 
         self._checkpoints: Dict[int, Dict[int, str]] = {}
 
+        # State-transfer throttle (one outstanding request per lag position).
+        self._state_transfer_seq = -1
+        self._state_transfer_at = float("-inf")
+
         self._view_change_timer: Optional[int] = None
         self._request_first_seen: Dict[Tuple[int, int], float] = {}
         self._view_changes: Dict[int, Dict[int, PbftViewChange]] = {}
@@ -126,6 +137,7 @@ class PBFTReplica(Process):
             "blocks_committed": 0,
             "blocks_executed": 0,
             "view_changes": 0,
+            "state_transfers": 0,
         }
 
         # Type-keyed dispatch and verification-cost tables (hot path); message
@@ -138,6 +150,8 @@ class PBFTReplica(Process):
             PbftCheckpoint: self._on_checkpoint,
             PbftViewChange: self._on_view_change,
             PbftNewView: self._on_new_view,
+            StateTransferRequest: self._on_state_transfer_request,
+            StateTransferResponse: self._on_state_transfer_response,
         }
         rsa_verify = costs.rsa_verify
         hash_op = costs.hash_op
@@ -149,6 +163,8 @@ class PBFTReplica(Process):
             PbftCheckpoint: lambda m: rsa_verify,
             PbftViewChange: lambda m: rsa_verify,
             PbftNewView: lambda m: rsa_verify,
+            StateTransferRequest: lambda m: hash_op,
+            StateTransferResponse: lambda m: hash_op,
         }
 
     # ------------------------------------------------------------------
@@ -171,8 +187,36 @@ class PBFTReplica(Process):
     def is_primary(self) -> bool:
         return self.primary == self.node_id
 
+    #: PBFT implements only the withholding adversary (the paper's evaluation
+    #: never runs a Byzantine PBFT primary); unknown modes raise instead of
+    #: silently configuring a no-op adversary.
+    BYZANTINE_MODES = frozenset({"silent"})
+
     def activate_byzantine(self, mode: str) -> None:
+        if mode not in self.BYZANTINE_MODES:
+            raise ConfigurationError(
+                f"unknown byzantine mode {mode!r} for {type(self).__name__} "
+                f"(known: {', '.join(sorted(self.BYZANTINE_MODES))})"
+            )
         self.byzantine_mode = mode
+
+    def rejoin(self) -> None:
+        """Recover from a crash and re-sync via state transfer.
+
+        Mirrors :meth:`repro.core.replica.SBFTReplica.rejoin`: clear the stale
+        timer handles and the execution-in-progress flag left behind by
+        ``crash()``, then ask a peer for a snapshot.  A peer that is not ahead
+        simply does not answer; checkpoint messages re-trigger the transfer
+        if the replica lags too far behind the stable point.
+        """
+        if not self.crashed:
+            return
+        self.recover()
+        self._executing = False
+        self._batch_timer = None
+        self._view_change_timer = None
+        self._request_state_transfer()
+        self._try_execute()
 
     def _slot(self, sequence: int) -> _PbftSlot:
         if sequence not in self._slots:
@@ -476,6 +520,67 @@ class PBFTReplica(Process):
             stale_votes = [s for s in self._checkpoints if s <= collect_up_to]
             for sequence in stale_votes:
                 del self._checkpoints[sequence]
+        # Catch-up trigger: a replica this far behind a peer's checkpoint
+        # cannot close the gap from its own log (the missed pre-prepares are
+        # gone, e.g. after the simplified view change wiped in-flight slots)
+        # — fetch a snapshot instead of wedging.
+        if self.last_executed + self.config.state_transfer_lag < message.sequence:
+            self._request_state_transfer(hint=message.replica_id)
+
+    # ------------------------------------------------------------------
+    # State transfer (shares the SBFT message types; used by rejoin and by
+    # replicas that lag too far behind the stable point)
+    # ------------------------------------------------------------------
+    def _request_state_transfer(self, hint: Optional[int] = None) -> None:
+        # Throttle as in SBFT: n-1 peers' checkpoints would otherwise each
+        # draw a full snapshot while this replica lags.  Re-request only
+        # after progress or a retry window.
+        if (
+            self._state_transfer_seq == self.last_executed
+            and self.sim.now - self._state_transfer_at < self.config.client_retry_timeout
+        ):
+            return
+        target = hint
+        if target is None or target == self.node_id:
+            candidates = [r for r in range(self.n) if r != self.node_id]
+            target = candidates[self.sim.rng.randrange(len(candidates))] if candidates else None
+        if target is None:
+            return
+        self._state_transfer_seq = self.last_executed
+        self._state_transfer_at = self.sim.now
+        self.stats["state_transfers"] += 1
+        self._send(target, StateTransferRequest(replica_id=self.node_id, from_sequence=self.last_executed))
+
+    def _on_state_transfer_request(self, message: StateTransferRequest, src: int) -> None:
+        if self.last_executed <= message.from_sequence:
+            return
+        snapshot = self.service.snapshot()
+        slot = self._slots.get(self.last_executed)
+        response = StateTransferResponse(
+            up_to_sequence=self.last_executed,
+            state_digest=slot.state_digest if slot is not None and slot.state_digest else "",
+            snapshot=snapshot,
+            stable_proof=None,
+            last_executed_per_client={
+                client: last[0] for client, last in self._last_reply.items()
+            },
+        )
+        self._send(src, response)
+
+    def _on_state_transfer_response(self, message: StateTransferResponse, src: int) -> None:
+        if message.up_to_sequence <= self.last_executed:
+            return
+        self.charge_cpu(self.costs.persist_per_byte * 1_000_000)
+        self.service.restore(message.snapshot)
+        self.last_executed = message.up_to_sequence
+        self.last_stable = max(self.last_stable, message.up_to_sequence)
+        if message.last_executed_per_client:
+            for client, timestamp in message.last_executed_per_client.items():
+                current = self._last_reply.get(client)
+                if current is None or current[0] < timestamp:
+                    self._last_reply[client] = (timestamp, ())
+        self._executing = False
+        self._try_execute()
 
     # ------------------------------------------------------------------
     # Simplified view change

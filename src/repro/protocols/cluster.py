@@ -94,6 +94,7 @@ class Cluster:
         self.replicas: Dict[int, Any] = {}
         self.clients: Dict[int, SBFTClient] = {}
         self.setup: Optional[TrustedSetup] = None
+        self.injector: Optional[FaultInjector] = None
         self.recorder = LatencyRecorder()
 
     # ------------------------------------------------------------------
@@ -171,9 +172,10 @@ class Cluster:
             self.network.register(client)
             self.clients[client_index] = client
 
+        self.injector = None
         if self.fault_plan is not None and len(self.fault_plan):
-            injector = FaultInjector(self.sim, self.replicas)
-            injector.apply(self.fault_plan)
+            self.injector = FaultInjector(self.sim, self.replicas, network=self.network)
+            self.injector.apply(self.fault_plan)
 
     # ------------------------------------------------------------------
     # Running
@@ -184,8 +186,17 @@ class Cluster:
         max_sim_time: float = 300.0,
         max_events: Optional[int] = None,
         label: Optional[str] = None,
+        timeline_bucket: Optional[float] = None,
+        fault_phase: Optional[tuple] = None,
     ) -> ClusterResult:
-        """Build the cluster, run the workload and summarize the results."""
+        """Build the cluster, run the workload and summarize the results.
+
+        ``timeline_bucket`` (seconds) attaches a windowed throughput/latency
+        :class:`repro.metrics.collector.Timeline` to the result; a
+        ``fault_phase`` pair of absolute ``(fault_start, fault_end)`` times
+        additionally attaches before/during/after-fault phase aggregates
+        (both used by the fault-sweep experiments).
+        """
         self._build(workload)
         assert self.sim is not None and self.network is not None
 
@@ -198,6 +209,11 @@ class Cluster:
         run = self.recorder.summary(duration=duration, label=label or self.spec.name)
         run.messages_sent = self.network.stats.messages_sent
         run.bytes_sent = self.network.stats.bytes_sent
+        if timeline_bucket is not None:
+            run.timeline = self.recorder.timeline(timeline_bucket, duration=duration)
+        if fault_phase is not None:
+            fault_start, fault_end = fault_phase
+            run.phases = self.recorder.phase_summary(fault_start, fault_end, duration=duration)
 
         return ClusterResult(
             run=run,

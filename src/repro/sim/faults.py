@@ -1,4 +1,4 @@
-"""Fault injection: crashes, stragglers and Byzantine behaviours.
+"""Fault injection: crashes, stragglers, partitions and Byzantine behaviours.
 
 The paper's three-mode system model (Section II) distinguishes
 
@@ -8,27 +8,54 @@ The paper's three-mode system model (Section II) distinguishes
 
 A :class:`FaultPlan` describes which replicas misbehave and how; the
 :class:`FaultInjector` applies the plan to a running cluster.
+
+Fault activation times (``FaultSpec.at_time``) are **absolute simulation
+times**: a plan applied mid-run (``sim.now > 0``) still activates each fault
+at ``at_time``, or immediately if that time has already passed.  Recovery
+faults (``restart``, ``heal``) undo earlier faults, which is what lets the
+fault-sweep experiments script crash-then-restart and partition-then-heal
+timelines (Section VIII's performance-under-failure scenarios).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterable, Optional, Sequence
+from typing import Iterable, Optional, Sequence, Tuple
 
 from repro.errors import ConfigurationError
 from repro.sim.events import Simulator
+from repro.sim.network import Network
 from repro.sim.process import Process
+
+#: Every fault kind the injector knows how to activate.
+FAULT_KINDS = (
+    "crash",       # drop timers, ignore all future messages
+    "slow",        # multiply the replica's CPU speed factor
+    "byzantine",   # switch to an adversarial protocol behaviour
+    "partition",   # take down the links between the replica and ``peers``
+    "isolate",     # drop all traffic to and from the replica
+    "restart",     # recover a crashed replica (rejoin + state transfer)
+    "heal",        # undo slow/partition/isolate faults on the replica
+)
+
+#: Adversarial behaviours a replica may be asked to activate.  Protocol
+#: layers may implement a subset; unknown modes raise at activation instead
+#: of silently producing a no-op adversary.
+BYZANTINE_MODES = ("silent", "bad-shares", "equivocate", "stale-viewchange")
 
 
 @dataclass(frozen=True)
 class FaultSpec:
     """A single fault applied to one replica.
 
-    ``kind`` is one of ``"crash"``, ``"slow"`` or ``"byzantine"``.  ``at_time``
-    is when the fault activates.  ``slow_factor`` multiplies the replica's CPU
-    costs when ``kind == "slow"``.  ``byzantine_mode`` selects the adversarial
-    behaviour implemented by the protocol layer (e.g. ``"equivocate"``,
-    ``"silent"``, ``"stale-viewchange"``).
+    ``kind`` is one of :data:`FAULT_KINDS`.  ``at_time`` is the **absolute
+    simulation time** at which the fault activates (activation is immediate
+    when the plan is applied after ``at_time`` has passed).  ``slow_factor``
+    *multiplies* the replica's CPU costs when ``kind == "slow"`` — stacked
+    slow faults compose, and ``heal`` restores the pre-fault factor.
+    ``byzantine_mode`` selects the adversarial behaviour implemented by the
+    protocol layer (one of :data:`BYZANTINE_MODES`).  ``peers`` lists the
+    replicas a ``partition`` fault cuts this replica off from.
     """
 
     replica_id: int
@@ -36,12 +63,20 @@ class FaultSpec:
     at_time: float = 0.0
     slow_factor: float = 5.0
     byzantine_mode: str = "silent"
+    peers: Tuple[int, ...] = ()
 
     def __post_init__(self):
-        if self.kind not in ("crash", "slow", "byzantine"):
+        if self.kind not in FAULT_KINDS:
             raise ConfigurationError(f"unknown fault kind {self.kind!r}")
         if self.slow_factor < 1.0:
             raise ConfigurationError("slow_factor must be >= 1.0")
+        if self.kind == "byzantine" and self.byzantine_mode not in BYZANTINE_MODES:
+            raise ConfigurationError(
+                f"unknown byzantine mode {self.byzantine_mode!r} "
+                f"(known: {', '.join(BYZANTINE_MODES)})"
+            )
+        if self.kind == "partition" and not self.peers:
+            raise ConfigurationError("partition fault needs a non-empty peer set")
 
 
 @dataclass
@@ -63,7 +98,12 @@ class FaultPlan:
         Replica 0 is the primary of view 0, so this models the paper's failure
         scenarios where crashed replicas are backups and the primary stays up.
         """
-        ids = list(range(n - 1, max(0, n - 1 - count), -1))
+        if count > n - 1:
+            raise ConfigurationError(
+                f"cannot crash {count} backups in a cluster of {n} replicas "
+                f"(replica 0 is the primary; at most {n - 1} backups exist)"
+            )
+        ids = list(range(n - 1, n - 1 - count, -1))
         return cls([FaultSpec(replica_id=i, kind="crash", at_time=at_time) for i in ids])
 
     @classmethod
@@ -80,6 +120,34 @@ class FaultPlan:
             for i in node_ids
         ])
 
+    @classmethod
+    def partition(cls, node_ids: Sequence[int], n: int, at_time: float = 0.0) -> "FaultPlan":
+        """Partition ``node_ids`` away from the rest of an ``n``-replica cluster.
+
+        Links *within* each side stay up; every link crossing the cut goes
+        down in both directions.  Heal with :meth:`heal` on the same ids.
+        """
+        group = sorted(set(node_ids))
+        others = tuple(i for i in range(n) if i not in set(group))
+        if not group or not others:
+            raise ConfigurationError("partition needs non-empty groups on both sides")
+        return cls([
+            FaultSpec(replica_id=i, kind="partition", at_time=at_time, peers=others)
+            for i in group
+        ])
+
+    @classmethod
+    def isolate(cls, node_ids: Iterable[int], at_time: float = 0.0) -> "FaultPlan":
+        return cls([FaultSpec(replica_id=i, kind="isolate", at_time=at_time) for i in node_ids])
+
+    @classmethod
+    def restart(cls, node_ids: Iterable[int], at_time: float = 0.0) -> "FaultPlan":
+        return cls([FaultSpec(replica_id=i, kind="restart", at_time=at_time) for i in node_ids])
+
+    @classmethod
+    def heal(cls, node_ids: Iterable[int], at_time: float = 0.0) -> "FaultPlan":
+        return cls([FaultSpec(replica_id=i, kind="heal", at_time=at_time) for i in node_ids])
+
     def extend(self, other: "FaultPlan") -> "FaultPlan":
         return FaultPlan(self.faults + other.faults)
 
@@ -91,26 +159,56 @@ class FaultPlan:
         return len(self.faults)
 
 
+#: Fault kinds that need access to the network fabric (``heal`` does not:
+#: without a network it still restores CPU speed factors).
+_NETWORK_KINDS = frozenset({"partition", "isolate"})
+
+
 class FaultInjector:
     """Applies a :class:`FaultPlan` to a set of replicas at the right times."""
 
-    def __init__(self, sim: Simulator, replicas: dict):
+    def __init__(self, sim: Simulator, replicas: dict, network: Optional[Network] = None):
         self.sim = sim
         self.replicas = dict(replicas)
+        self.network = network
         self.applied: list[FaultSpec] = []
+        # Undo state for heal: pre-fault CPU speed factors and the links this
+        # injector took down, per replica.
+        self._original_speed: dict[int, float] = {}
+        self._downed_links: dict[int, set] = {}
 
     def apply(self, plan: FaultPlan) -> None:
+        # Validate the whole plan before arming any of it: a rejected plan
+        # must leave nothing scheduled (no half-applied fault timelines).
         for spec in plan.faults:
             if spec.replica_id not in self.replicas:
                 raise ConfigurationError(f"fault references unknown replica {spec.replica_id}")
-            self.sim.schedule(spec.at_time, self._activate, spec)
+            if spec.kind in _NETWORK_KINDS and self.network is None:
+                raise ConfigurationError(
+                    f"fault kind {spec.kind!r} needs a FaultInjector built with a network"
+                )
+            if spec.kind == "byzantine":
+                # A replica class that advertises its supported modes must
+                # support this one — catching it here keeps an unsupported
+                # mode from erupting mid-simulation at activation time.
+                supported = getattr(self.replicas[spec.replica_id], "BYZANTINE_MODES", None)
+                if supported is not None and spec.byzantine_mode not in supported:
+                    raise ConfigurationError(
+                        f"replica {spec.replica_id} does not implement byzantine "
+                        f"mode {spec.byzantine_mode!r} (supported: {', '.join(sorted(supported))})"
+                    )
+        for spec in plan.faults:
+            # ``at_time`` is absolute: applying a plan mid-run must not shift
+            # activations by ``sim.now`` (past times activate immediately).
+            self.sim.schedule(max(0.0, spec.at_time - self.sim.now), self._activate, spec)
 
     def _activate(self, spec: FaultSpec) -> None:
         replica: Process = self.replicas[spec.replica_id]
         if spec.kind == "crash":
             replica.crash()
         elif spec.kind == "slow":
-            replica.cpu.speed_factor = spec.slow_factor
+            self._original_speed.setdefault(spec.replica_id, replica.cpu.speed_factor)
+            replica.cpu.speed_factor *= spec.slow_factor
         elif spec.kind == "byzantine":
             activate = getattr(replica, "activate_byzantine", None)
             if activate is None:
@@ -120,4 +218,32 @@ class FaultInjector:
                 replica.crash()
             else:
                 activate(spec.byzantine_mode)
+        elif spec.kind == "partition":
+            downed = self._downed_links.setdefault(spec.replica_id, set())
+            for peer in spec.peers:
+                self.network.set_link_down(spec.replica_id, peer)
+                self.network.set_link_down(peer, spec.replica_id)
+                downed.add(peer)
+        elif spec.kind == "isolate":
+            self.network.isolate(spec.replica_id)
+        elif spec.kind == "restart":
+            rejoin = getattr(replica, "rejoin", None)
+            if rejoin is not None:
+                rejoin()
+            else:
+                replica.recover()
+        elif spec.kind == "heal":
+            self._heal(spec.replica_id)
         self.applied.append(spec)
+
+    def _heal(self, replica_id: int) -> None:
+        """Undo slow/partition/isolate effects this injector put on a replica."""
+        replica = self.replicas[replica_id]
+        original = self._original_speed.pop(replica_id, None)
+        if original is not None:
+            replica.cpu.speed_factor = original
+        if self.network is not None:
+            self.network.reconnect(replica_id)
+            for peer in self._downed_links.pop(replica_id, ()):
+                self.network.set_link_up(replica_id, peer)
+                self.network.set_link_up(peer, replica_id)

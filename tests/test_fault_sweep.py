@@ -1,0 +1,201 @@
+"""Tests for the fault-sweep experiment subsystem and the recovery paths.
+
+Covers the acceptance behaviours of the performance-under-failure sweep:
+fixed-seed determinism (serial vs ``--jobs 2``), restart-rejoin reaching the
+cluster's chain digest, partition-heal resuming client completion, windowed
+timelines / phase aggregates on the rows, and the stale-viewchange adversary.
+"""
+
+import pytest
+
+from helpers import assert_agreement
+from repro.errors import ConfigurationError
+from repro.experiments.fault_sweep import (
+    CONFIG_OVERRIDES,
+    SCENARIOS,
+    SWEEP_SCALES,
+    run_fault_point,
+    run_fault_sweep,
+)
+from repro.protocols.cluster import build_cluster
+from repro.sim.faults import FaultPlan
+from repro.workloads.kv_workload import KVWorkload
+
+SMALL = SWEEP_SCALES["small"]
+
+
+def _run_scenario(protocol, scenario_name, seed=0):
+    scenario = SCENARIOS[scenario_name]
+    plan = scenario.build_plan(protocol, 4, 1, 0)
+    cluster = build_cluster(
+        protocol,
+        f=1,
+        num_clients=SMALL.num_clients,
+        topology="continent",
+        batch_size=SMALL.block_batch,
+        seed=seed,
+        fault_plan=plan,
+        config_overrides=dict(CONFIG_OVERRIDES),
+    )
+    workload = KVWorkload(
+        requests_per_client=SMALL.requests_per_client, batch_size=SMALL.kv_batch, seed=seed + 1
+    )
+    result = cluster.run(
+        workload,
+        max_sim_time=SMALL.max_sim_time,
+        timeline_bucket=0.25,
+        fault_phase=(scenario.fault_start, scenario.fault_end),
+    )
+    return cluster, result
+
+
+def _stable(rows):
+    """Strip the host-timing columns (wall/cpu clocks vary run to run)."""
+    return [
+        {k: v for k, v in row.items() if not k.startswith(("wall", "cpu"))}
+        for row in rows
+    ]
+
+
+# ----------------------------------------------------------------------
+# Sweep rows: timelines, phases, determinism
+# ----------------------------------------------------------------------
+def test_sweep_rows_carry_timeline_and_phases():
+    rows = run_fault_sweep(
+        scale_name="small", protocols=["sbft-c0"], scenarios=["crash-backups"], seed=0
+    )
+    assert len(rows) == 1
+    row = rows[0]
+    assert row["all_completed"]
+    assert row["recovered"], "post-fault throughput must be > 0 (linear-PBFT fallback)"
+    assert row["faults_fired"] == row["faults_planned"] > 0
+    # Windowed timeline: contiguous buckets covering the run.
+    timeline = row["timeline"]
+    assert len(timeline) >= 8
+    assert timeline[0]["t_start"] == 0.0
+    for earlier, later in zip(timeline, timeline[1:]):
+        assert later["t_start"] == pytest.approx(earlier["t_end"])
+    assert sum(bucket["completed_operations"] for bucket in timeline) == row["completed_operations"]
+    # Phase aggregates: healthy before, degraded-but-live after.
+    phases = row["phases"]
+    assert phases["before"]["throughput_ops"] > 0
+    assert phases["after"]["throughput_ops"] > 0
+    assert phases["before"]["t_end"] == row["fault_start"]
+    assert phases["during"]["t_end"] == row["fault_end"]
+
+
+def test_sweep_fixed_seed_rows_identical_serial_vs_jobs():
+    kwargs = dict(
+        scale_name="small",
+        protocols=["sbft-c0"],
+        scenarios=["crash-backups", "partition-heal"],
+        seed=3,
+    )
+    serial = run_fault_sweep(jobs=1, **kwargs)
+    parallel = run_fault_sweep(jobs=2, **kwargs)
+    assert _stable(serial) == _stable(parallel)
+
+
+def test_sweep_rejects_unknown_scenario_and_scale():
+    with pytest.raises(ConfigurationError):
+        run_fault_sweep(scenarios=["meteor-strike"])
+    with pytest.raises(ConfigurationError):
+        run_fault_sweep(scale_name="galactic")
+
+
+def test_run_fault_point_smoke():
+    result = run_fault_point(
+        "sbft-c0", "continent", SCENARIOS["slow-stragglers"], SMALL, seed=0
+    )
+    assert result.run.timeline is not None
+    assert result.run.phases is not None
+    assert result.run.completed_requests == SMALL.num_clients * SMALL.requests_per_client
+
+
+# ----------------------------------------------------------------------
+# Recovery scenarios
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("protocol", ["sbft-c0", "pbft"])
+def test_restart_rejoin_reaches_cluster_chain_digest(protocol):
+    cluster, result = _run_scenario(protocol, "crash-restart")
+    expected = SMALL.num_clients * SMALL.requests_per_client
+    assert result.run.completed_requests >= expected
+    digests = {replica.service.digest() for replica in cluster.replicas.values()}
+    assert len(digests) == 1, "restarted replicas must re-sync to the cluster digest"
+    assert all(not replica.crashed for replica in cluster.replicas.values())
+    restarted = cluster.replicas[3]
+    assert restarted.stats["state_transfers"] >= 1
+    assert restarted.last_executed == cluster.replicas[0].last_executed
+    assert_agreement(cluster)
+
+
+@pytest.mark.parametrize("protocol", ["sbft-c0", "pbft"])
+def test_partition_heal_resumes_client_completion(protocol):
+    cluster, result = _run_scenario(protocol, "partition-heal")
+    expected = SMALL.num_clients * SMALL.requests_per_client
+    assert result.run.completed_requests >= expected
+    # The minority replica catches back up after the heal.
+    digests = {replica.service.digest() for replica in cluster.replicas.values()}
+    assert len(digests) == 1
+    assert result.run.phases["after"]["throughput_ops"] > 0
+    assert_agreement(cluster)
+
+
+def test_faulty_primary_scenario_recovers_via_view_change():
+    cluster, result = _run_scenario("sbft-c0", "faulty-primary")
+    expected = SMALL.num_clients * SMALL.requests_per_client
+    assert result.run.completed_requests >= expected
+    views = [replica.view for replica in cluster.replicas.values() if not replica.crashed]
+    assert max(views) > 0, "a view change must have happened"
+    assert result.run.phases["after"]["throughput_ops"] > 0
+    assert_agreement(cluster)
+
+
+# ----------------------------------------------------------------------
+# Byzantine mode validation and the stale-viewchange adversary
+# ----------------------------------------------------------------------
+def test_replicas_reject_unknown_byzantine_mode():
+    cluster, _result = _run_scenario("sbft-c0", "crash-backups")
+    sbft_replica = cluster.replicas[0]
+    with pytest.raises(ConfigurationError):
+        sbft_replica.activate_byzantine("confuse-everyone")
+
+    cluster, _result = _run_scenario("pbft", "crash-backups")
+    pbft_replica = cluster.replicas[0]
+    with pytest.raises(ConfigurationError):
+        pbft_replica.activate_byzantine("stale-viewchange")  # not implemented by PBFT
+
+
+def test_stale_viewchange_replica_sends_empty_outdated_evidence():
+    cluster, _result = _run_scenario("sbft-c0", "crash-backups")
+    replica = cluster.replicas[1]
+    assert replica.last_stable > 0  # it really has something to withhold
+    replica.activate_byzantine("stale-viewchange")
+    message = replica.build_view_change(replica.view + 1)
+    assert message.last_stable == 0
+    assert message.stable_proof is None
+    assert message.slots == ()
+
+
+def test_injector_activates_stale_viewchange_mid_run():
+    # LAN runs are fast; activate early enough that requests are in flight.
+    plan = FaultPlan.crash_first(1, at_time=0.05).extend(
+        FaultPlan.byzantine([3], mode="stale-viewchange", at_time=0.02)
+    )
+    cluster = build_cluster(
+        "sbft-c0",
+        f=1,
+        num_clients=2,
+        topology="lan",
+        batch_size=2,
+        seed=0,
+        fault_plan=plan,
+        config_overrides=dict(CONFIG_OVERRIDES),
+    )
+    workload = KVWorkload(requests_per_client=8, batch_size=2, seed=1)
+    result = cluster.run(workload, max_sim_time=60.0)
+    # Liveness through the view change despite one stale-viewchange backup.
+    assert result.run.completed_requests == 16
+    assert cluster.replicas[3].byzantine_mode == "stale-viewchange"
+    assert max(r.view for r in cluster.replicas.values() if not r.crashed) > 0
+    assert_agreement(cluster)

@@ -90,3 +90,177 @@ def test_injector_rejects_unknown_replica():
     injector = FaultInjector(sim, {0: Dummy(sim, 0)})
     with pytest.raises(ConfigurationError):
         injector.apply(FaultPlan.crash_first(1, node_ids=[9]))
+
+
+# ----------------------------------------------------------------------
+# Regression: at_time is an absolute simulation time, not a delay
+# ----------------------------------------------------------------------
+def test_plan_applied_mid_run_activates_at_absolute_time():
+    sim = Simulator()
+    replicas = {0: Dummy(sim, 0)}
+    injector = FaultInjector(sim, replicas)
+    # Warm up the clock past zero, then inject a fault scheduled for t=2.0:
+    # it must fire at 2.0, not at sim.now + 2.0 (the old delay bug).
+    sim.schedule(1.5, lambda: injector.apply(FaultPlan.crash_first(1, at_time=2.0)))
+    sim.run(until=1.9)
+    assert not replicas[0].crashed
+    sim.run(until=2.1)
+    assert replicas[0].crashed
+
+
+def test_plan_applied_after_at_time_activates_immediately():
+    sim = Simulator()
+    replicas = {0: Dummy(sim, 0)}
+    injector = FaultInjector(sim, replicas)
+    sim.schedule(3.0, lambda: injector.apply(FaultPlan.crash_first(1, at_time=1.0)))
+    sim.run(until=3.5)
+    assert replicas[0].crashed
+
+
+# ----------------------------------------------------------------------
+# Regression: slow faults multiply (and heal restores) the speed factor
+# ----------------------------------------------------------------------
+def test_slow_fault_multiplies_existing_speed_factor():
+    sim = Simulator()
+    replicas = {0: Dummy(sim, 0)}
+    replicas[0].cpu.speed_factor = 2.0  # already a straggler
+    FaultInjector(sim, replicas).apply(FaultPlan.slow([0], factor=3.0))
+    sim.run()
+    assert replicas[0].cpu.speed_factor == pytest.approx(6.0)
+
+
+def test_stacked_slow_faults_compose():
+    sim = Simulator()
+    replicas = {0: Dummy(sim, 0)}
+    injector = FaultInjector(sim, replicas)
+    injector.apply(FaultPlan.slow([0], factor=2.0, at_time=0.5))
+    injector.apply(FaultPlan.slow([0], factor=4.0, at_time=1.0))
+    sim.run()
+    assert replicas[0].cpu.speed_factor == pytest.approx(8.0)
+
+
+def test_heal_restores_pre_fault_speed_factor():
+    sim = Simulator()
+    replicas = {0: Dummy(sim, 0)}
+    replicas[0].cpu.speed_factor = 1.5
+    injector = FaultInjector(sim, replicas)
+    plan = FaultPlan.slow([0], factor=2.0, at_time=0.5).extend(
+        FaultPlan.slow([0], factor=3.0, at_time=1.0)
+    ).extend(FaultPlan.heal([0], at_time=2.0))
+    injector.apply(plan)
+    sim.run(until=1.5)
+    assert replicas[0].cpu.speed_factor == pytest.approx(9.0)
+    sim.run(until=2.5)
+    assert replicas[0].cpu.speed_factor == pytest.approx(1.5)
+
+
+# ----------------------------------------------------------------------
+# Regression: unknown byzantine modes and oversized crash_backups
+# ----------------------------------------------------------------------
+def test_unknown_byzantine_mode_rejected_at_spec_construction():
+    with pytest.raises(ConfigurationError):
+        FaultSpec(replica_id=0, kind="byzantine", byzantine_mode="confuse-everyone")
+
+
+def test_stale_viewchange_is_a_known_mode():
+    spec = FaultSpec(replica_id=0, kind="byzantine", byzantine_mode="stale-viewchange")
+    assert spec.byzantine_mode == "stale-viewchange"
+
+
+def test_crash_backups_rejects_more_than_n_minus_one():
+    with pytest.raises(ConfigurationError):
+        FaultPlan.crash_backups(4, n=4)
+    # The maximum legal count leaves replica 0 untouched.
+    plan = FaultPlan.crash_backups(3, n=4)
+    assert plan.faulty_ids == {1, 2, 3}
+
+
+# ----------------------------------------------------------------------
+# New fault kinds: partition, isolate, restart, heal
+# ----------------------------------------------------------------------
+def _network(sim, nodes):
+    from repro.sim.network import Network
+
+    network = Network(sim, seed=1)
+    for node in nodes.values():
+        network.register(node)
+    return network
+
+
+def test_partition_and_heal_toggle_links_both_ways():
+    sim = Simulator()
+    replicas = {i: Dummy(sim, i) for i in range(4)}
+    network = _network(sim, replicas)
+    injector = FaultInjector(sim, replicas, network=network)
+    plan = FaultPlan.partition([3], n=4, at_time=1.0).extend(FaultPlan.heal([3], at_time=2.0))
+    injector.apply(plan)
+    sim.run(until=1.5)
+    assert (3, 0) in network._down_links and (0, 3) in network._down_links
+    assert (1, 2) not in network._down_links
+    sim.run(until=2.5)
+    assert not network._down_links
+
+
+def test_isolate_and_heal_toggle_isolation():
+    sim = Simulator()
+    replicas = {i: Dummy(sim, i) for i in range(2)}
+    network = _network(sim, replicas)
+    injector = FaultInjector(sim, replicas, network=network)
+    injector.apply(FaultPlan.isolate([1], at_time=1.0).extend(FaultPlan.heal([1], at_time=2.0)))
+    sim.run(until=1.5)
+    assert 1 in network._isolated
+    sim.run(until=2.5)
+    assert 1 not in network._isolated
+
+
+def test_network_kinds_require_a_network():
+    sim = Simulator()
+    injector = FaultInjector(sim, {0: Dummy(sim, 0), 1: Dummy(sim, 1)})
+    with pytest.raises(ConfigurationError):
+        injector.apply(FaultPlan.partition([0], n=2))
+
+
+def test_restart_uses_rejoin_hook_or_recover():
+    sim = Simulator()
+
+    class Rejoiner(Dummy):
+        def __init__(self, sim, node_id):
+            super().__init__(sim, node_id)
+            self.rejoined = False
+
+        def rejoin(self):
+            self.rejoined = True
+            self.recover()
+
+    replicas = {0: Rejoiner(sim, 0), 1: Dummy(sim, 1)}
+    injector = FaultInjector(sim, replicas)
+    plan = FaultPlan.crash_first(2, at_time=1.0).extend(FaultPlan.restart([0, 1], at_time=2.0))
+    injector.apply(plan)
+    sim.run(until=1.5)
+    assert replicas[0].crashed and replicas[1].crashed
+    sim.run(until=2.5)
+    assert not replicas[0].crashed and replicas[0].rejoined
+    assert not replicas[1].crashed  # plain Process falls back to recover()
+
+
+def test_partition_spec_requires_peers():
+    with pytest.raises(ConfigurationError):
+        FaultSpec(replica_id=0, kind="partition")
+
+
+def test_apply_rejects_mode_the_replica_does_not_implement():
+    class Limited(Dummy):
+        BYZANTINE_MODES = frozenset({"silent"})
+
+    sim = Simulator()
+    replicas = {0: Limited(sim, 0), 1: Limited(sim, 1)}
+    injector = FaultInjector(sim, replicas)
+    # The plan is rejected up front and nothing is armed — not even the
+    # crash that precedes the unsupported byzantine spec.
+    with pytest.raises(ConfigurationError):
+        injector.apply(
+            FaultPlan.crash_first(1).extend(FaultPlan.byzantine([1], mode="equivocate"))
+        )
+    sim.run()
+    assert not replicas[0].crashed
+    assert replicas[1].byzantine is None

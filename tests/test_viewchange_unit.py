@@ -310,3 +310,27 @@ def test_last_stable_taken_from_highest_proved_checkpoint():
     ]
     plan = _plan(messages)
     assert plan.last_stable == 4
+
+
+def test_unproved_last_stable_claim_cannot_advance_stable_point():
+    """A ``last_stable > 0`` claim needs a valid π proof: neither a missing
+    proof nor a forged one may advance the stable point (a stale-viewchange
+    or Byzantine replica must not garbage-collect live slots)."""
+    # No proof at all.
+    messages = [
+        ViewChange(new_view=1, replica_id=0, last_stable=12, stable_proof=None, slots=()),
+        _view_change(1, []),
+        _view_change(2, []),
+    ]
+    assert _plan(messages).last_stable == 0
+
+    # A proof from the wrong scheme (tau, not pi) fails verification.
+    forged = SETUP.tau.combine(
+        [SETUP.tau.sign_share(i, ("state", 12, "d")) for i in range(CONFIG.tau_threshold)]
+    )
+    messages = [
+        ViewChange(new_view=1, replica_id=0, last_stable=12, stable_proof=forged, slots=()),
+        _view_change(1, []),
+        _view_change(2, []),
+    ]
+    assert _plan(messages).last_stable == 0

@@ -134,3 +134,59 @@ def test_run_result_as_row_contains_extra_fields():
     assert row["label"] == "row"
     assert row["custom"] == 7
     assert row["mean_latency_ms"] == pytest.approx(100.0)
+
+
+def test_timeline_buckets_cover_run_including_empty_windows():
+    recorder = LatencyRecorder()
+    recorder.record(0.0, 0.1, operations=4)   # bucket 0
+    recorder.record(0.1, 0.3, operations=4)   # bucket 0
+    recorder.record(2.0, 2.1, operations=2)   # bucket 4 (stall between)
+    timeline = recorder.timeline(0.5, duration=2.5)
+    assert len(timeline.buckets) == 5
+    assert timeline.buckets[0].completed_operations == 8
+    assert timeline.buckets[0].throughput == pytest.approx(16.0)
+    # The stall is visible as zero-throughput rows, not missing rows.
+    assert timeline.buckets[1].completed_operations == 0
+    assert timeline.buckets[2].throughput == 0.0
+    assert timeline.buckets[4].completed_operations == 2
+    rows = timeline.as_rows()
+    assert rows[0]["t_start"] == 0.0 and rows[0]["t_end"] == 0.5
+    assert rows[0]["mean_latency_ms"] == pytest.approx(150.0)
+    assert rows[4]["max_latency_ms"] == pytest.approx(100.0)
+
+
+def test_timeline_final_bucket_clamped_throughput():
+    """A final bucket clamped to the run's end divides by the window it
+    actually covers, not the nominal bucket width."""
+    recorder = LatencyRecorder()
+    recorder.record(0.0, 2.05, operations=10)
+    timeline = recorder.timeline(0.5, duration=2.1)
+    last = timeline.buckets[-1]
+    assert last.start == pytest.approx(2.0)
+    assert last.end == pytest.approx(2.1)
+    assert last.throughput == pytest.approx(10.0 / 0.1)
+
+
+def test_phase_summary_slices_before_during_after():
+    recorder = LatencyRecorder()
+    recorder.record(0.0, 0.5, operations=2)   # before
+    recorder.record(0.5, 0.9, operations=2)   # before
+    recorder.record(0.9, 1.5, operations=2)   # during
+    recorder.record(2.5, 3.5, operations=2)   # after
+    phases = recorder.phase_summary(1.0, 2.0, duration=4.0)
+    assert phases["before"]["completed_requests"] == 2
+    assert phases["before"]["throughput_ops"] == pytest.approx(4.0)
+    assert phases["during"]["completed_requests"] == 1
+    assert phases["during"]["throughput_ops"] == pytest.approx(2.0)
+    assert phases["after"]["completed_requests"] == 1
+    assert phases["after"]["throughput_ops"] == pytest.approx(1.0)
+    assert phases["after"]["mean_latency_ms"] == pytest.approx(1000.0)
+
+
+def test_phase_summary_clamps_to_run_duration():
+    recorder = LatencyRecorder()
+    recorder.record(0.0, 0.5, operations=1)
+    phases = recorder.phase_summary(1.0, 3.0, duration=0.5)
+    assert phases["before"]["t_end"] == 0.5
+    assert phases["during"]["completed_requests"] == 0
+    assert phases["after"]["throughput_ops"] == 0.0
