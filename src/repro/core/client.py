@@ -7,6 +7,14 @@ post-execution state digest and the Merkle proof that its operation executed
 with the returned value.  If its timer expires it re-sends the request to all
 replicas and falls back to the classic PBFT acknowledgement, waiting for
 ``f + 1`` matching signed replies.
+
+Clients can be *pipelined*: ``config.client_max_outstanding`` bounds how many
+requests one client keeps in flight concurrently (the default of 1 reproduces
+the classic closed-loop client one decision at a time).  Each in-flight
+request carries its own retry timer and its own ``f + 1`` fallback tally, so a
+straggling request does not head-of-line block the rest of the pipeline —
+this is how the client-load sweep scales offered load without spawning one
+simulated node per request.
 """
 
 from __future__ import annotations
@@ -25,8 +33,27 @@ from repro.sim.network import Network
 from repro.sim.process import Process
 
 
+class _InFlightRequest:
+    """Book-keeping for one not-yet-acknowledged request."""
+
+    __slots__ = ("request", "issued_at", "retry_timer", "fallback_replies")
+
+    def __init__(self, request: ClientRequest, issued_at: float):
+        self.request = request
+        self.issued_at = issued_at
+        self.retry_timer: Optional[int] = None
+        # Reply-value digest -> set of replica ids that voted for it.
+        self.fallback_replies: Dict[str, set] = {}
+
+
 class SBFTClient(Process):
-    """A closed-loop client: issues its next request when the previous completes."""
+    """A closed-loop client, optionally pipelined.
+
+    With ``max_outstanding == 1`` (the default) the client issues its next
+    request only when the previous one completes; with a larger value it keeps
+    up to that many requests in flight, refilling the pipeline on every
+    completion.
+    """
 
     def __init__(
         self,
@@ -50,17 +77,19 @@ class SBFTClient(Process):
         self.costs = costs
         self.recorder = recorder or LatencyRecorder()
         self.verifier = verifier
+        # Window size comes from the shared config only: the replicas size
+        # their per-client reply caches from the same value, and a wider
+        # client window than cache would break the sufficiency invariant
+        # (see repro.core.reply_cache).
+        self.max_outstanding = config.client_max_outstanding
 
         self._requests = [tuple(ops) for ops in requests]
         self._next_index = 0
         self._timestamp = 0
         self._believed_primary = 0
 
-        self._in_flight: Optional[ClientRequest] = None
-        self._issued_at = 0.0
-        self._retry_timer: Optional[int] = None
-        self._retrying = False
-        self._fallback_replies: Dict[Tuple[Any, ...], set] = {}
+        # timestamp -> in-flight state; timestamps are unique and monotone.
+        self._in_flight: Dict[int, _InFlightRequest] = {}
 
         self.completed = 0
         self.accepted_values: List[Tuple[Any, ...]] = []
@@ -74,13 +103,32 @@ class SBFTClient(Process):
     # ------------------------------------------------------------------
     @property
     def done(self) -> bool:
-        return self._next_index >= len(self._requests) and self._in_flight is None
+        return self._next_index >= len(self._requests) and not self._in_flight
 
     def _issue_next(self) -> None:
-        if self.crashed or self._in_flight is not None:
+        """Fill the pipeline up to ``max_outstanding`` in-flight requests.
+
+        The pipeline is a *sliding window*: the next timestamp must stay
+        within ``max_outstanding`` of the oldest in-flight request, even when
+        newer requests completed out of order.  The replicas' bounded
+        per-request reply caches are provably sufficient only under this
+        discipline (see :mod:`repro.core.reply_cache`) — without it a stuck
+        request could fall out of every replica's cache and never complete.
+        """
+        if self.crashed:
             return
-        if self._next_index >= len(self._requests):
-            return
+        while (
+            len(self._in_flight) < self.max_outstanding
+            and self._next_index < len(self._requests)
+        ):
+            if (
+                self._in_flight
+                and self._timestamp + 1 - min(self._in_flight) >= self.max_outstanding
+            ):
+                return
+            self._issue_one()
+
+    def _issue_one(self) -> None:
         operations = self._requests[self._next_index]
         self._next_index += 1
         self._timestamp += 1
@@ -92,24 +140,31 @@ class SBFTClient(Process):
             operations=tuple(operations),
             signature=signature,
         )
-        self._in_flight = request
-        self._issued_at = self.sim.now
-        self._retrying = False
-        self._fallback_replies = {}
+        pending = _InFlightRequest(request, issued_at=self.sim.now)
+        self._in_flight[request.timestamp] = pending
         self.network.send(self.node_id, self._believed_primary, request)
-        self._retry_timer = self.set_timer(self.config.client_retry_timeout, self._on_retry_timeout)
+        pending.retry_timer = self.set_timer(
+            self.config.client_retry_timeout, self._on_retry_timeout, request.timestamp
+        )
 
-    def _on_retry_timeout(self) -> None:
-        self._retry_timer = None
-        if self._in_flight is None:
+    def _on_retry_timeout(self, timestamp: int) -> None:
+        pending = self._in_flight.get(timestamp)
+        if pending is None:
             return
+        pending.retry_timer = None
         # Retry path: re-send to all replicas and ask for f+1 signed replies.
         self.stats["retries"] += 1
-        self._retrying = True
-        self.network.broadcast_bulk(self.node_id, self._in_flight, range(self.config.n))
-        self._retry_timer = self.set_timer(self.config.client_retry_timeout, self._on_retry_timeout)
-        # Rotate the believed primary in case it is the one that failed us.
-        self._believed_primary = (self._believed_primary + 1) % self.config.n
+        self.network.broadcast_bulk(self.node_id, pending.request, range(self.config.n))
+        pending.retry_timer = self.set_timer(
+            self.config.client_retry_timeout, self._on_retry_timeout, timestamp
+        )
+        # Rotate the believed primary in case it is the one that failed us —
+        # only on the *oldest* in-flight request's timeout, so a pipelined
+        # client advances one replica per retry period regardless of how many
+        # requests time out (per-request rotation would alias:
+        # max_outstanding == n lands right back on the dead primary).
+        if timestamp == min(self._in_flight):
+            self._believed_primary = (self._believed_primary + 1) % self.config.n
 
     # ------------------------------------------------------------------
     # Receiving acknowledgements
@@ -125,22 +180,23 @@ class SBFTClient(Process):
         return self.costs.bls_verify_combined + self.costs.merkle_proof_per_level * proof_levels
 
     def _on_execute_ack(self, message: ExecuteAck, src: int) -> None:
-        if self._in_flight is None:
+        if message.client_id != self.client_id:
             return
-        if message.client_id != self.client_id or message.timestamp != self._in_flight.timestamp:
+        pending = self._in_flight.get(message.timestamp)
+        if pending is None:
             return
-        if not self._verify_ack(message):
+        if not self._verify_ack(message, pending):
             self.stats["acks_rejected"] += 1
             return
         self.stats["acks_accepted"] += 1
-        self._complete(message.values)
+        self._complete(pending, message.values)
 
-    def _verify_ack(self, message: ExecuteAck) -> bool:
+    def _verify_ack(self, message: ExecuteAck, pending: _InFlightRequest) -> bool:
         sign_message = ("state", message.sequence, message.state_digest)
         if not self.verify_pi_signature(message, sign_message):
             return False
-        if self.verifier is not None and message.proof is not None and self._in_flight is not None:
-            first_operation = self._in_flight.operations[0]
+        if self.verifier is not None and message.proof is not None:
+            first_operation = pending.request.operations[0]
             first_value = message.values[0] if message.values else None
             return self.verifier.verify(
                 message.state_digest,
@@ -160,26 +216,26 @@ class SBFTClient(Process):
         return pi_scheme.verify_message(message.pi_signature, sign_message)
 
     def _on_client_reply(self, message: ClientReply, src: int) -> None:
-        if self._in_flight is None or message.timestamp != self._in_flight.timestamp:
+        pending = self._in_flight.get(message.timestamp)
+        if pending is None:
             return
         # Replies are matched by value digest (values may contain unhashable
         # structures such as ledger receipts).
         key = sha256_hex("reply-values", message.values)
-        voters = self._fallback_replies.setdefault(key, set())
+        voters = pending.fallback_replies.setdefault(key, set())
         voters.add(message.replica_id)
         if len(voters) >= self.config.f + 1:
             self.stats["fallbacks"] += 1
-            self._complete(message.values)
+            self._complete(pending, message.values)
 
-    def _complete(self, values: Tuple[Any, ...]) -> None:
-        if self._in_flight is None:
+    def _complete(self, pending: _InFlightRequest, values: Tuple[Any, ...]) -> None:
+        request = pending.request
+        if self._in_flight.pop(request.timestamp, None) is None:
             return
-        request = self._in_flight
-        self._in_flight = None
-        if self._retry_timer is not None:
-            self.cancel_timer(self._retry_timer)
-            self._retry_timer = None
+        if pending.retry_timer is not None:
+            self.cancel_timer(pending.retry_timer)
+            pending.retry_timer = None
         self.completed += 1
         self.accepted_values.append(values)
-        self.recorder.record(self._issued_at, self.sim.now, operations=len(request.operations))
+        self.recorder.record(pending.issued_at, self.sim.now, operations=len(request.operations))
         self._issue_next()

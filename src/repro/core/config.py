@@ -10,6 +10,12 @@ certificate).
 The same configuration object also selects which of the paper's ingredients
 are active, which is how the protocol variants compared in Figure 2/3 are
 realised (see :mod:`repro.protocols.registry`).
+
+Batching is a policy: ``batch_policy="fixed"`` (the default) proposes blocks
+of exactly ``batch_size`` requests, while ``"adaptive"`` sizes blocks from
+the observed queue depth and in-flight load, bounded by ``batch_max`` —
+see ``docs/architecture.md``.  ``client_max_outstanding`` pipelines clients
+(requests kept in flight concurrently per client).
 """
 
 from __future__ import annotations
@@ -35,8 +41,13 @@ class SBFTConfig:
     # Batching and pipelining.
     batch_size: int = 1                    # minimum client requests per block
     batch_timeout: float = 0.05            # seconds the primary waits to fill a batch
+    batch_policy: str = "fixed"            # "fixed" | "adaptive" (see batching notes)
+    batch_max: Optional[int] = None        # adaptive block-size cap; default max(64, 4*batch_size)
     window: int = 256                      # max outstanding decision blocks (win)
     active_window_divisor: int = 4         # fast path restricted to le .. le + win/4
+
+    # Client pipelining: requests a client may keep in flight concurrently.
+    client_max_outstanding: int = 1
 
     # Timers.
     fast_path_timeout: float = 0.15        # collector wait for σ before falling back to τ
@@ -57,6 +68,14 @@ class SBFTConfig:
             raise ConfigurationError("need at least f=1 or c>=1 replicas worth of redundancy")
         if self.batch_size < 1:
             raise ConfigurationError("batch_size must be >= 1")
+        if self.batch_policy not in ("fixed", "adaptive"):
+            raise ConfigurationError(
+                f"unknown batch_policy {self.batch_policy!r} (expected 'fixed' or 'adaptive')"
+            )
+        if self.batch_max is not None and self.batch_max < self.batch_size:
+            raise ConfigurationError("batch_max must be >= batch_size")
+        if self.client_max_outstanding < 1:
+            raise ConfigurationError("client_max_outstanding must be >= 1")
         if self.window < 4:
             raise ConfigurationError("window must be >= 4")
 
@@ -92,6 +111,39 @@ class SBFTConfig:
     def collectors_per_slot(self) -> int:
         """Number of C-/E-collectors per (sequence, view), default ``c + 1``."""
         return self.num_collectors if self.num_collectors is not None else self.c + 1
+
+    @property
+    def effective_batch_max(self) -> int:
+        """Upper bound on adaptive block size (requests per decision block).
+
+        The adaptive policy drains the primary's queue into one block of at
+        most this many requests; the default keeps a healthy headroom above
+        ``batch_size`` so deep queues amortize per-block protocol cost
+        (signature shares, combines, fan-out) over many requests.
+        """
+        return self.batch_max if self.batch_max is not None else max(64, 4 * self.batch_size)
+
+    def batch_threshold(self, in_flight_blocks: int) -> int:
+        """Queue depth that triggers an immediate proposal (both replica stacks).
+
+        ``fixed`` proposes as soon as ``batch_size`` requests queue up.  The
+        ``adaptive`` policy does the same while the pipeline is idle, but once
+        blocks are in flight it holds back until the queue reaches
+        ``effective_batch_max`` — letting load build into one large block
+        instead of a stream of minimum-size ones.  The primary's batch timer
+        still flushes a partial queue either way, and execution completions
+        re-check the queue, so no request waits longer than ``batch_timeout``
+        beyond the previous block.
+        """
+        if self.batch_policy != "adaptive":
+            return self.batch_size
+        return self.batch_size if in_flight_blocks <= 0 else self.effective_batch_max
+
+    def batch_take(self) -> int:
+        """How many queued requests the next block carries."""
+        if self.batch_policy != "adaptive":
+            return self.batch_size
+        return self.effective_batch_max
 
     @property
     def checkpoint_every(self) -> int:
@@ -147,7 +199,10 @@ class SBFTConfig:
             ingredients.append("exec-collector")
         if self.c > 0:
             ingredients.append(f"c={self.c}")
+        batch = f"batch={self.batch_size}"
+        if self.batch_policy == "adaptive":
+            batch = f"batch={self.batch_size}..{self.effective_batch_max}/adaptive"
         return (
-            f"SBFT(n={self.n}, f={self.f}, c={self.c}, batch={self.batch_size}, "
+            f"SBFT(n={self.n}, f={self.f}, c={self.c}, {batch}, "
             f"ingredients=[{', '.join(ingredients) or 'none'}])"
         )

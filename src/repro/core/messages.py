@@ -347,6 +347,11 @@ class StateTransferResponse:
     snapshot: Any
     stable_proof: Optional[CombinedSignature] = None
     last_executed_per_client: Optional[Dict[int, int]] = None
+    # Donor's per-client reply cache {client: {timestamp: (sequence, values)}}:
+    # a re-synced replica must be able to answer retransmissions of executed
+    # requests with their *real* values (PBFT ships the last replies with the
+    # checkpoint state for exactly this reason).
+    reply_cache: Optional[Dict[int, Dict[int, Any]]] = None
 
     @property
     def size_bytes(self) -> int:

@@ -53,6 +53,7 @@ from repro.core.messages import (
     StateTransferResponse,
     ViewChange,
 )
+from repro.core.reply_cache import ClientReplyTracker
 from repro.core.roles import commit_collectors, execution_collectors, primary_of_view
 from repro.core.viewchange import (
     ACTION_ADOPT,
@@ -135,9 +136,13 @@ class SBFTReplica(Process):
         self._pending_request_ids: set = set()
         self._batch_timer: Optional[int] = None
 
-        # Execution / reply state.
+        # Execution / reply state.  Clients pipeline requests as a sliding
+        # window (config.client_max_outstanding), so executed-request
+        # tracking and reply retention follow the exact per-timestamp rules
+        # of ClientReplyTracker (see repro.core.reply_cache for the window
+        # invariant that makes the bounded cache sufficient).
         self._executing = False
-        self._last_reply: Dict[int, Tuple[int, int, int, Tuple[Any, ...]]] = {}
+        self._replies = ClientReplyTracker(config.client_max_outstanding)
         self._direct_reply_waiting: Dict[Tuple[int, int], int] = {}
 
         # View-change state.
@@ -371,15 +376,13 @@ class SBFTReplica(Process):
     # Client requests and primary batching
     # ==================================================================
     def _request_executed(self, request_id: Tuple[int, int]) -> bool:
-        client_id, timestamp = request_id
-        last = self._last_reply.get(client_id)
-        return last is not None and last[0] >= timestamp
+        return self._replies.executed(*request_id)
 
     def _on_client_request(self, request: ClientRequest, src: int) -> None:
         request_id = request.request_id
         if self._request_executed(request_id):
             # Retransmission of an executed request: reply directly (f+1 path).
-            self._send_direct_reply(request.client_id)
+            self._send_direct_reply(request.client_id, request.timestamp)
             return
 
         self._request_first_seen.setdefault(request_id, self.sim.now)
@@ -404,7 +407,8 @@ class SBFTReplica(Process):
             return
         if not self._pending_requests:
             return
-        if len(self._pending_requests) >= self.config.batch_size:
+        threshold = self.config.batch_threshold(self.next_sequence - 1 - self.last_executed)
+        if len(self._pending_requests) >= threshold:
             self._propose_block()
         elif self._batch_timer is None:
             self._batch_timer = self.set_timer(self.config.batch_timeout, self._on_batch_timeout)
@@ -429,8 +433,9 @@ class SBFTReplica(Process):
         if self._batch_timer is not None:
             self.cancel_timer(self._batch_timer)
             self._batch_timer = None
-        batch = self._pending_requests[: self.config.batch_size]
-        self._pending_requests = self._pending_requests[self.config.batch_size :]
+        take = self.config.batch_take()
+        batch = self._pending_requests[:take]
+        self._pending_requests = self._pending_requests[take:]
         for request in batch:
             self._pending_request_ids.discard(request.request_id)
 
@@ -763,12 +768,12 @@ class SBFTReplica(Process):
         self._try_execute()
 
     def _record_replies(self, slot: SlotState) -> None:
-        """Remember the latest reply per client (deduplication + retransmits)."""
+        """Remember recent replies per client (deduplication + retransmits)."""
         position = 0
         for request in slot.pre_prepare.requests:
             count = len(request.operations)
             values = tuple(result.value for result in slot.execution_results[position : position + count])
-            self._last_reply[request.client_id] = (request.timestamp, slot.sequence, position, values)
+            self._replies.record(request.client_id, request.timestamp, slot.sequence, values)
             position += count
 
     def _cancel_request_timers(self, slot: SlotState) -> None:
@@ -895,13 +900,21 @@ class SBFTReplica(Process):
         for request in slot.pre_prepare.requests:
             if request.request_id in self._direct_reply_waiting:
                 del self._direct_reply_waiting[request.request_id]
-                self._send_direct_reply(request.client_id)
+                self._send_direct_reply(request.client_id, request.timestamp)
 
-    def _send_direct_reply(self, client_id: int) -> None:
-        last = self._last_reply.get(client_id)
-        if last is None:
+    def _send_direct_reply(self, client_id: int, timestamp: int) -> None:
+        """Answer a retransmission of an executed request with its own reply.
+
+        Only answerable from the reply cache: a replica that merely knows the
+        request executed (state transfer) must stay silent — fabricating an
+        empty-value reply could combine with other fabricated replies into an
+        f+1 quorum of wrong values.  The client keeps retrying and is answered
+        by replicas that still hold the real values.
+        """
+        entry = self._replies.reply(client_id, timestamp)
+        if entry is None:
             return
-        timestamp, sequence, _position, values = last
+        sequence, values = entry
         self.charge_cpu(self.costs.rsa_sign)
         signature = self.keys.signing_key.sign(("reply", client_id, timestamp, values))
         reply = ClientReply(
@@ -1204,9 +1217,8 @@ class SBFTReplica(Process):
             state_digest=stable_slot.state_digest if stable_slot else "",
             snapshot=snapshot,
             stable_proof=stable_slot.execute_proof if stable_slot else None,
-            last_executed_per_client={
-                client: last[0] for client, last in self._last_reply.items()
-            },
+            last_executed_per_client=self._replies.prefixes(),
+            reply_cache=self._replies.cache_snapshot(),
         )
         self._send(src, response)
 
@@ -1217,10 +1229,7 @@ class SBFTReplica(Process):
         self.service.restore(message.snapshot)
         self.last_executed = message.up_to_sequence
         self.last_stable = max(self.last_stable, message.up_to_sequence)
-        if message.last_executed_per_client:
-            for client, timestamp in message.last_executed_per_client.items():
-                current = self._last_reply.get(client)
-                if current is None or current[0] < timestamp:
-                    self._last_reply[client] = (timestamp, message.up_to_sequence, 0, ())
+        self._replies.adopt_prefixes(message.last_executed_per_client)
+        self._replies.adopt_cache(message.reply_cache)
         self._executing = False
         self._try_execute()

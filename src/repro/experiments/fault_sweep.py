@@ -38,26 +38,38 @@ fans points out over worker processes with rows identical to a serial run.
 ``BENCH_fault_sweep.json`` at the repo root is the committed trajectory
 baseline (regenerate with ``--rounds 3``); ``--check-against`` gates on CPU
 time per simulated event like the other sweeps.
+
+Each output row carries (see ``--help`` for the full schema): ``label``
+(``{protocol}/{topology}/{scenario}``), ``protocol``/``topology``/
+``scenario``/``f``/``n``/``clients``, the scalar run summary
+(``throughput_ops``, ``mean/median/p99_latency_ms``, ``completed_requests``
+vs ``expected_requests``, ``all_completed``, ``recovered``), the fault
+bookkeeping (``fault_start``/``fault_end``, ``faults_planned`` vs
+``faults_fired``), the shape of the run (``timeline`` — windowed buckets,
+``phases`` — before/during/after aggregates) and the harness cost
+(``wall/cpu_seconds``, ``sim_seconds``, ``events_processed``,
+``{wall,cpu}_us_per_event``).
 """
 
 from __future__ import annotations
 
 import argparse
-import json
 import sys
-import time
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.errors import ConfigurationError
 from repro.experiments.harness import (
-    add_jobs_argument,
-    check_per_event_regression,
-    emit_benchmark_json,
+    COMMON_ROW_SCHEMA,
+    add_baseline_arguments,
+    emit_and_gate,
     format_table,
+    harness_cost_fields,
+    make_epilog,
     protocol_sizes,
     result_row,
     run_points,
+    timed_rounds,
 )
 from repro.protocols.cluster import build_cluster
 from repro.sim.faults import FaultPlan
@@ -257,16 +269,10 @@ def _sweep_point_worker(spec: Tuple) -> Dict:
     scenario = SCENARIOS[scenario_name]
     scale = SWEEP_SCALES[scale_name]
     label = f"{protocol}/{topology}/{scenario_name}"
-    best = None
-    for _ in range(max(1, rounds)):
-        started = time.perf_counter()
-        cpu_started = time.process_time()
-        result = run_fault_point(protocol, topology, scenario, scale, seed=seed, label=label)
-        wall = time.perf_counter() - started
-        cpu = time.process_time() - cpu_started
-        if best is None or wall < best[0]:
-            best = (wall, cpu, result)
-    wall, cpu, result = best
+    wall, cpu, result = timed_rounds(
+        lambda: run_fault_point(protocol, topology, scenario, scale, seed=seed, label=label),
+        rounds,
+    )
     run = result.run
     n, _c = protocol_sizes(protocol, scale.f)
     expected = scale.num_clients * scale.requests_per_client
@@ -284,13 +290,8 @@ def _sweep_point_worker(spec: Tuple) -> Dict:
         recovered=bool(run.phases and run.phases["after"]["throughput_ops"] > 0),
         fault_start=scenario.fault_start,
         fault_end=scenario.fault_end,
-        wall_seconds=round(wall, 4),
-        cpu_seconds=round(cpu, 4),
-        sim_seconds=round(result.sim_time, 4),
-        events_processed=result.events_processed,
     )
-    row["wall_us_per_event"] = round(1e6 * wall / max(1, result.events_processed), 2)
-    row["cpu_us_per_event"] = round(1e6 * cpu / max(1, result.events_processed), 2)
+    row.update(harness_cost_fields(wall, cpu, result))
     row["phases"] = run.phases
     row["timeline"] = run.timeline.as_rows() if run.timeline is not None else []
     return row
@@ -362,8 +363,37 @@ def _format_phase_lines(rows: List[Dict]) -> str:
     return "\n".join(lines)
 
 
+#: Sweep-specific row keys, appended to the common schema in ``--help``.
+ROW_SCHEMA: Dict[str, str] = dict(
+    COMMON_ROW_SCHEMA,
+    topology="WAN latency model of this point",
+    scenario="scripted fault timeline (see --scenarios for the choices)",
+    clients="number of closed-loop clients at every sweep point",
+    completed_requests="client requests acknowledged by the cluster",
+    expected_requests="clients x requests_per_client at this scale",
+    all_completed="every offered request was acknowledged despite the faults",
+    recovered="the after-fault phase made throughput progress",
+    fault_start="absolute simulation time the 'during' phase starts",
+    fault_end="absolute simulation time the 'during' phase ends",
+    faults_planned="fault actions in the scripted timeline",
+    faults_fired="fault actions that actually activated during the run",
+    phases="before/during/after-fault aggregate dict (JSON output only)",
+    timeline="windowed throughput/latency buckets (JSON output only)",
+)
+
+EPILOG = make_epilog(
+    "PYTHONPATH=src python -m repro.experiments.fault_sweep "
+    "--scale small --rounds 3 --output BENCH_fault_sweep.json",
+    ROW_SCHEMA,
+)
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
-    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser = argparse.ArgumentParser(
+        description=__doc__.splitlines()[0],
+        epilog=EPILOG,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
     parser.add_argument("--scale", default="small", choices=sorted(SWEEP_SCALES))
     parser.add_argument("--protocols", nargs="+", default=list(DEFAULT_PROTOCOLS))
     parser.add_argument("--topologies", nargs="+", default=list(DEFAULT_TOPOLOGIES))
@@ -376,21 +406,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         help="fixed-seed repetitions per point; the min-wall-clock round is "
         "reported (use 3 when regenerating the committed baseline)",
     )
-    parser.add_argument("--output", default=None, help="write --benchmark-json-style output here")
-    add_jobs_argument(parser)
-    parser.add_argument(
-        "--check-against",
-        default=None,
-        metavar="BASELINE_JSON",
-        help="fail if CPU time per simulated event regresses against this "
-        "--benchmark-json baseline (the CI perf smoke gate)",
-    )
-    parser.add_argument(
-        "--max-regression",
-        type=float,
-        default=2.0,
-        help="allowed per-event cost ratio vs --check-against (default 2.0)",
-    )
+    add_baseline_arguments(parser)
     args = parser.parse_args(argv)
 
     try:
@@ -405,23 +421,11 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         )
     except ConfigurationError as error:
         parser.error(str(error))
-    print(format_table(rows, columns=[c for c in TABLE_COLUMNS]))
+    print(format_table(rows, columns=TABLE_COLUMNS))
     print()
     print("phase aggregates (before / during / after fault):")
     print(_format_phase_lines(rows))
-    if args.output:
-        document = emit_benchmark_json(rows, group="fault-sweep", commit_info={"scale": args.scale})
-        with open(args.output, "w", encoding="utf-8") as handle:
-            json.dump(document, handle, indent=1, sort_keys=True)
-        print(f"wrote {args.output}")
-    if args.check_against:
-        with open(args.check_against, "r", encoding="utf-8") as handle:
-            baseline_document = json.load(handle)
-        ok, message = check_per_event_regression(rows, baseline_document, args.max_regression)
-        print(("OK: " if ok else "FAIL: ") + message)
-        if not ok:
-            return 1
-    return 0
+    return emit_and_gate(rows, group="fault-sweep", scale_name=args.scale, args=args)
 
 
 if __name__ == "__main__":

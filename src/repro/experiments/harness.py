@@ -18,7 +18,9 @@ parallel runs produce results identical to serial ones.
 
 from __future__ import annotations
 
+import json
 import platform
+import time
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
@@ -131,6 +133,42 @@ def run_kv_point(
     return cluster.run(workload, max_sim_time=scale.max_sim_time, label=label or protocol)
 
 
+def make_epilog(example: str, row_schema: Dict[str, str]) -> str:
+    """Build an argparse ``--help`` epilog: example invocation + row schema.
+
+    Every sweep CLI uses this so ``--help`` alone documents how to run the
+    sweep and what each output-row key means (render with
+    ``argparse.RawDescriptionHelpFormatter``).
+    """
+    lines = ["example:", f"  {example}", "", "output row keys:"]
+    width = max(len(key) for key in row_schema)
+    for key, meaning in row_schema.items():
+        lines.append(f"  {key.ljust(width)}  {meaning}")
+    return "\n".join(lines)
+
+
+#: Row keys common to every sweep (sweep-specific keys are documented per CLI).
+COMMON_ROW_SCHEMA: Dict[str, str] = {
+    "label": "unique sweep-point name; --check-against matches points by label",
+    "throughput_ops": "simulated operations per second over the run",
+    "mean_latency_ms": "mean simulated request latency (milliseconds)",
+    "median_latency_ms": "median simulated request latency (milliseconds)",
+    "p99_latency_ms": "99th-percentile simulated request latency (milliseconds)",
+    "completed_operations": "operations executed and acknowledged to clients",
+    "messages_sent": "network messages sent during the run",
+    "bytes_sent": "network bytes sent during the run",
+    "protocol": "protocol variant (see repro.protocols.registry)",
+    "f": "tolerated Byzantine replicas at this point",
+    "n": "total replicas at this point",
+    "wall_seconds": "harness wall-clock cost of the point (min over --rounds)",
+    "cpu_seconds": "harness per-process CPU cost of the point",
+    "sim_seconds": "simulated duration of the run",
+    "events_processed": "discrete events the simulator executed",
+    "wall_us_per_event": "wall-clock microseconds per simulated event",
+    "cpu_us_per_event": "CPU microseconds per simulated event (the CI gate metric)",
+}
+
+
 def add_jobs_argument(parser) -> None:
     """Add the shared ``--jobs N`` sweep-parallelism flag to a CLI parser."""
     parser.add_argument(
@@ -141,6 +179,96 @@ def add_jobs_argument(parser) -> None:
         "to --jobs 1: every point is an independent fixed-seed simulation "
         "and rows are returned in grid order)",
     )
+
+
+def timed_rounds(
+    run: Callable[[], Any], rounds: int = 1, setup: Optional[Callable[[], None]] = None
+) -> Tuple[float, float, Any]:
+    """Run ``run`` for ``rounds`` fixed-seed repetitions, keep the fastest.
+
+    The trajectory baselines' min-of-N noise filter: simulated results are
+    identical across rounds by construction, so only the harness clocks
+    differ and the minimum-wall-clock round is reported.  ``setup`` runs
+    before each round *outside* the timed window (cold-cache resets).
+    Returns ``(wall_seconds, cpu_seconds, result)``.
+    """
+    best = None
+    for _ in range(max(1, rounds)):
+        if setup is not None:
+            setup()
+        started = time.perf_counter()
+        cpu_started = time.process_time()
+        result = run()
+        # Both clocks: wall for human-facing sweep cost, per-process CPU for
+        # the perf gate (worker processes of a --jobs run time-slice the
+        # machine, so wall clocks include scheduler contention; CPU does not).
+        wall = time.perf_counter() - started
+        cpu = time.process_time() - cpu_started
+        if best is None or wall < best[0]:
+            best = (wall, cpu, result)
+    return best
+
+
+def harness_cost_fields(wall: float, cpu: float, result) -> Dict:
+    """The per-point harness-cost row keys shared by every sweep.
+
+    The CI gate metric ``cpu_us_per_event`` (and its wall-clock sibling) is
+    derived here and only here, so the gates cannot diverge across sweeps.
+    """
+    events = max(1, result.events_processed)
+    return {
+        "wall_seconds": round(wall, 4),
+        "cpu_seconds": round(cpu, 4),
+        "sim_seconds": round(result.sim_time, 4),
+        "events_processed": result.events_processed,
+        "wall_us_per_event": round(1e6 * wall / events, 2),
+        "cpu_us_per_event": round(1e6 * cpu / events, 2),
+    }
+
+
+def add_baseline_arguments(parser) -> None:
+    """The shared sweep-CLI tail: ``--output/--jobs/--check-against/--max-regression``.
+
+    Every sweep CLI carries the same baseline/gate flags; adding them here
+    keeps the help text (and the gate semantics it documents) in one place.
+    """
+    parser.add_argument("--output", default=None, help="write --benchmark-json-style output here")
+    add_jobs_argument(parser)
+    parser.add_argument(
+        "--check-against",
+        default=None,
+        metavar="BASELINE_JSON",
+        help="fail if CPU time per simulated event regresses against this "
+        "--benchmark-json baseline (the CI perf smoke gate; falls back to "
+        "wall-clock metrics for older baselines)",
+    )
+    parser.add_argument(
+        "--max-regression",
+        type=float,
+        default=2.0,
+        help="allowed per-event cost ratio vs --check-against (default 2.0)",
+    )
+
+
+def emit_and_gate(rows: List[Dict], group: str, scale_name: str, args) -> int:
+    """Shared sweep-CLI epilogue: honour ``--output`` and ``--check-against``.
+
+    Writes the benchmark-JSON document when requested, then evaluates the
+    per-event perf gate; returns the process exit code (1 on gate failure).
+    """
+    if args.output:
+        document = emit_benchmark_json(rows, group=group, commit_info={"scale": scale_name})
+        with open(args.output, "w", encoding="utf-8") as handle:
+            json.dump(document, handle, indent=1, sort_keys=True)
+        print(f"wrote {args.output}")
+    if args.check_against:
+        with open(args.check_against, "r", encoding="utf-8") as handle:
+            baseline_document = json.load(handle)
+        ok, message = check_per_event_regression(rows, baseline_document, args.max_regression)
+        print(("OK: " if ok else "FAIL: ") + message)
+        if not ok:
+            return 1
+    return 0
 
 
 def run_points(

@@ -11,40 +11,50 @@ workload, continent WAN) per replication factor and records, for each point:
   hot-path optimizations target — dispatch tables, heap compaction, memoized
   crypto).
 
-``emit_benchmark_json`` writes the rows in a ``pytest-benchmark
---benchmark-json``-compatible shape so trajectory tooling can track
-``BENCH_*.json`` files across PRs; run it from the CLI::
+``--output`` writes the rows in a ``pytest-benchmark --benchmark-json``
+-compatible shape (via :func:`repro.experiments.harness.emit_and_gate`) so
+trajectory tooling can track ``BENCH_*.json`` files across PRs::
 
     PYTHONPATH=src python -m repro.experiments.scale_sweep --scale small --output BENCH_scale_sweep.json
 
 Every sweep point is an independent fixed-seed simulation, so ``--jobs N``
 runs points in N worker processes with results identical to serial execution
 (rows stay in grid order).  ``--check-against BASELINE.json`` turns the run
-into a perf gate: it fails when wall-clock per simulated event regresses more
-than ``--max-regression``-fold against the baseline document (used by CI
-against the committed ``BENCH_scale_sweep.json``).
+into a perf gate: it fails when per-event cost (CPU time per simulated event,
+which is immune to worker-process contention; older baselines fall back to
+the wall-clock metrics) regresses more than ``--max-regression``-fold against
+the baseline document (used by CI against the committed
+``BENCH_scale_sweep.json``).
+
+Each output row carries (see ``--help`` for the full schema): ``label``
+(``{protocol}/f={f}/n={n}``), ``protocol``/``f``/``n``/``clients``, the
+simulated metrics (``throughput_ops``, ``mean/median/p99_latency_ms``,
+``completed_operations``, ``messages_sent``, ``bytes_sent``) and the harness
+cost (``wall/cpu_seconds``, ``sim_seconds``, ``events_processed``,
+``wall_us_per_message``, ``{wall,cpu}_us_per_event``).
 """
 
 from __future__ import annotations
 
 import argparse
-import json
 import sys
-import time
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.errors import ConfigurationError
 from repro.experiments.harness import (
+    COMMON_ROW_SCHEMA,
     ExperimentScale,
-    add_jobs_argument,
-    check_per_event_regression,
+    add_baseline_arguments,
+    emit_and_gate,
     format_table,
+    harness_cost_fields,
+    make_epilog,
     protocol_sizes,
     result_row,
     run_kv_point,
     run_points,
+    timed_rounds,
 )
-from repro.experiments.harness import emit_benchmark_json as _emit_benchmark_json
 
 #: Replication factors per sweep scale.  ``f`` values translate to
 #: ``n = 3f + 1`` replicas: small sweeps 4..25 replicas, medium to 49, and
@@ -72,39 +82,30 @@ def sweep_scale(name: str, f: int) -> ExperimentScale:
 def _sweep_point_worker(spec: Tuple) -> Dict:
     """Run one (protocol, f) sweep point; module-level so it pickles for
     :func:`repro.experiments.harness.run_points` worker processes."""
-    protocol, scale_name, f, num_clients, kv_batch, topology, seed = spec
+    protocol, scale_name, f, num_clients, kv_batch, topology, seed, rounds = spec
     scale = sweep_scale(scale_name, f)
     n = scale.n_c8 if protocol == "sbft-c8" else scale.n_c0
-    started = time.perf_counter()
-    cpu_started = time.process_time()
-    result = run_kv_point(
-        protocol,
-        scale,
-        num_clients=num_clients,
-        kv_batch=kv_batch,
-        topology=topology,
-        seed=seed,
-        label=f"{protocol}/f={f}/n={n}",
+    wall, cpu, result = timed_rounds(
+        lambda: run_kv_point(
+            protocol,
+            scale,
+            num_clients=num_clients,
+            kv_batch=kv_batch,
+            topology=topology,
+            seed=seed,
+            label=f"{protocol}/f={f}/n={n}",
+        ),
+        rounds,
     )
-    # Both clocks: wall for human-facing sweep cost, per-process CPU for the
-    # perf gate (worker processes of a --jobs run time-slice the machine, so
-    # their wall clocks include scheduler contention; CPU time does not).
-    wall = time.perf_counter() - started
-    cpu = time.process_time() - cpu_started
     row = result_row(
         result,
         protocol=protocol,
         f=f,
         n=n,
         clients=num_clients,
-        wall_seconds=round(wall, 4),
-        cpu_seconds=round(cpu, 4),
-        sim_seconds=round(result.sim_time, 4),
-        events_processed=result.events_processed,
     )
+    row.update(harness_cost_fields(wall, cpu, result))
     row["wall_us_per_message"] = round(1e6 * wall / max(1, result.network_messages), 2)
-    row["wall_us_per_event"] = round(1e6 * wall / max(1, result.events_processed), 2)
-    row["cpu_us_per_event"] = round(1e6 * cpu / max(1, result.events_processed), 2)
     return row
 
 
@@ -116,6 +117,7 @@ def run_scale_sweep(
     kv_batch: int = 8,
     topology: str = "continent",
     seed: int = 0,
+    rounds: int = 1,
     jobs: int = 1,
 ) -> List[Dict]:
     """Run the sweep; returns one row per (protocol, f) point.
@@ -129,41 +131,47 @@ def run_scale_sweep(
     if f_values is None:
         f_values = SWEEP_F_VALUES.get(scale_name, SWEEP_F_VALUES["small"])
     specs = [
-        (protocol, scale_name, f, num_clients, kv_batch, topology, seed)
+        (protocol, scale_name, f, num_clients, kv_batch, topology, seed, rounds)
         for protocol in protocols
         for f in f_values
     ]
     return run_points(_sweep_point_worker, specs, jobs=jobs)
 
 
-def emit_benchmark_json(rows: List[Dict], scale_name: str) -> Dict:
-    """Wrap sweep rows in a ``--benchmark-json``-compatible document."""
-    return _emit_benchmark_json(rows, group="scale-sweep", commit_info={"scale": scale_name})
+#: Sweep-specific row keys, appended to the common schema in ``--help``.
+ROW_SCHEMA: Dict[str, str] = dict(
+    COMMON_ROW_SCHEMA,
+    clients="number of closed-loop clients at every sweep point",
+    wall_us_per_message="wall-clock microseconds per network message",
+)
+
+EPILOG = make_epilog(
+    "PYTHONPATH=src python -m repro.experiments.scale_sweep "
+    "--scale small --output BENCH_scale_sweep.json",
+    ROW_SCHEMA,
+)
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
-    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser = argparse.ArgumentParser(
+        description=__doc__.splitlines()[0],
+        epilog=EPILOG,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
     parser.add_argument("--scale", default="small", choices=sorted(SWEEP_F_VALUES))
     parser.add_argument("--protocols", nargs="+", default=["sbft-c0"])
     parser.add_argument("--clients", type=int, default=16)
     parser.add_argument("--kv-batch", type=int, default=8)
     parser.add_argument("--topology", default="continent")
     parser.add_argument("--seed", type=int, default=0)
-    parser.add_argument("--output", default=None, help="write --benchmark-json-style output here")
-    add_jobs_argument(parser)
     parser.add_argument(
-        "--check-against",
-        default=None,
-        metavar="BASELINE_JSON",
-        help="fail if wall-clock per simulated event regresses against this "
-        "--benchmark-json baseline (the CI perf smoke gate)",
+        "--rounds",
+        type=int,
+        default=1,
+        help="fixed-seed repetitions per point; the min-wall-clock round is "
+        "reported (use 3 when regenerating the committed baseline)",
     )
-    parser.add_argument(
-        "--max-regression",
-        type=float,
-        default=2.0,
-        help="allowed per-event wall-clock ratio vs --check-against (default 2.0)",
-    )
+    add_baseline_arguments(parser)
     args = parser.parse_args(argv)
 
     try:
@@ -174,24 +182,13 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             kv_batch=args.kv_batch,
             topology=args.topology,
             seed=args.seed,
+            rounds=args.rounds,
             jobs=args.jobs,
         )
     except ConfigurationError as error:
         parser.error(str(error))
     print(format_table(rows))
-    if args.output:
-        document = emit_benchmark_json(rows, args.scale)
-        with open(args.output, "w", encoding="utf-8") as handle:
-            json.dump(document, handle, indent=1, sort_keys=True)
-        print(f"wrote {args.output}")
-    if args.check_against:
-        with open(args.check_against, "r", encoding="utf-8") as handle:
-            baseline_document = json.load(handle)
-        ok, message = check_per_event_regression(rows, baseline_document, args.max_regression)
-        print(("OK: " if ok else "FAIL: ") + message)
-        if not ok:
-            return 1
-    return 0
+    return emit_and_gate(rows, group="scale-sweep", scale_name=args.scale, args=args)
 
 
 if __name__ == "__main__":

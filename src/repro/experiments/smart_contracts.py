@@ -29,26 +29,35 @@ the reproducible first-execution-plus-(n-1)-replays path.  The CLI mirrors
         --scale small --jobs 2 --check-against BENCH_smart_contracts.json
 
 ``BENCH_smart_contracts.json`` at the repo root is the committed trajectory
-baseline; CI runs the second form as a perf gate.
+baseline; CI runs the second form as a perf gate (CPU time per simulated
+event, ``--max-regression 2.0``).
+
+Each output row carries (see ``--help`` for the full schema): ``label``
+(``{protocol}/{topology}/f={f}``), ``protocol``/``topology``/``f``/``n``/
+``clients``, the simulated metrics (``throughput_tps``, ``transactions``,
+``mean/median/p99_latency_ms``, ``messages_sent``, ``bytes_sent``) and the
+harness cost (``wall/cpu_seconds``, ``sim_seconds``, ``events_processed``,
+``{wall,cpu}_us_per_event``).
 """
 
 from __future__ import annotations
 
 import argparse
-import json
 import sys
-import time
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.errors import ConfigurationError
 from repro.experiments.harness import (
-    add_jobs_argument,
-    check_per_event_regression,
-    emit_benchmark_json,
+    COMMON_ROW_SCHEMA,
+    add_baseline_arguments,
+    emit_and_gate,
     format_table,
+    harness_cost_fields,
+    make_epilog,
     protocol_sizes,
     result_row,
     run_points,
+    timed_rounds,
 )
 from repro.protocols.cluster import build_cluster
 from repro.services.ledger import LedgerService, clear_execution_cache, ledger_operation
@@ -146,12 +155,8 @@ def _sweep_point_worker(spec: Tuple) -> Dict:
     protocol, topology, f, num_transactions, num_clients, block_batch, seed, rounds = spec
     c = _sbft_c(protocol, f)
     label = f"{protocol}/{topology}/f={f}"
-    best = None
-    for _ in range(max(1, rounds)):
-        clear_execution_cache()
-        started = time.perf_counter()
-        cpu_started = time.process_time()
-        result = _run_table_point(
+    wall, cpu, result = timed_rounds(
+        lambda: _run_table_point(
             protocol,
             topology,
             f,
@@ -162,14 +167,10 @@ def _sweep_point_worker(spec: Tuple) -> Dict:
             seed,
             SWEEP_MAX_SIM_TIME,
             label,
-        )
-        # Both clocks, as in the scale sweep: wall for human-facing cost, CPU
-        # for the perf gate (contention-immune under --jobs).
-        wall = time.perf_counter() - started
-        cpu = time.process_time() - cpu_started
-        if best is None or wall < best[0]:
-            best = (wall, cpu, result)
-    wall, cpu, result = best
+        ),
+        rounds,
+        setup=clear_execution_cache,
+    )
     n, _c = protocol_sizes(protocol, f)
     row = result_row(
         result,
@@ -180,13 +181,8 @@ def _sweep_point_worker(spec: Tuple) -> Dict:
         clients=num_clients,
         transactions=result.completed_operations,
         throughput_tps=round(result.throughput, 1),
-        wall_seconds=round(wall, 4),
-        cpu_seconds=round(cpu, 4),
-        sim_seconds=round(result.sim_time, 4),
-        events_processed=result.events_processed,
     )
-    row["wall_us_per_event"] = round(1e6 * wall / max(1, result.events_processed), 2)
-    row["cpu_us_per_event"] = round(1e6 * cpu / max(1, result.events_processed), 2)
+    row.update(harness_cost_fields(wall, cpu, result))
     return row
 
 
@@ -286,8 +282,28 @@ def slowdown_vs_baseline(rows: List[Dict]) -> Dict[str, float]:
     return slowdowns
 
 
+#: Sweep-specific row keys, appended to the common schema in ``--help``.
+ROW_SCHEMA: Dict[str, str] = dict(
+    COMMON_ROW_SCHEMA,
+    topology="WAN latency model of this point ('continent' or 'world')",
+    clients="number of closed-loop clients at every sweep point",
+    transactions="Ethereum-style transactions executed and acknowledged",
+    throughput_tps="simulated transactions per second",
+)
+
+EPILOG = make_epilog(
+    "PYTHONPATH=src python -m repro.experiments.smart_contracts "
+    "--scale small --rounds 3 --output BENCH_smart_contracts.json",
+    ROW_SCHEMA,
+)
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
-    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser = argparse.ArgumentParser(
+        description=__doc__.splitlines()[0],
+        epilog=EPILOG,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
     parser.add_argument("--scale", default="small", choices=sorted(SWEEP_F_VALUES))
     parser.add_argument("--protocols", nargs="+", default=list(SWEEP_PROTOCOLS))
     parser.add_argument("--topologies", nargs="+", default=list(SWEEP_TOPOLOGIES))
@@ -301,21 +317,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         help="fixed-seed repetitions per point; the min-wall-clock round is "
         "reported (use 3 when regenerating the committed baseline)",
     )
-    parser.add_argument("--output", default=None, help="write --benchmark-json-style output here")
-    add_jobs_argument(parser)
-    parser.add_argument(
-        "--check-against",
-        default=None,
-        metavar="BASELINE_JSON",
-        help="fail if wall-clock per simulated event regresses against this "
-        "--benchmark-json baseline (the CI perf smoke gate)",
-    )
-    parser.add_argument(
-        "--max-regression",
-        type=float,
-        default=2.0,
-        help="allowed per-event wall-clock ratio vs --check-against (default 2.0)",
-    )
+    add_baseline_arguments(parser)
     args = parser.parse_args(argv)
 
     try:
@@ -332,19 +334,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     except ConfigurationError as error:
         parser.error(str(error))
     print(format_table(rows))
-    if args.output:
-        document = emit_benchmark_json(rows, group="smart-contracts", commit_info={"scale": args.scale})
-        with open(args.output, "w", encoding="utf-8") as handle:
-            json.dump(document, handle, indent=1, sort_keys=True)
-        print(f"wrote {args.output}")
-    if args.check_against:
-        with open(args.check_against, "r", encoding="utf-8") as handle:
-            baseline_document = json.load(handle)
-        ok, message = check_per_event_regression(rows, baseline_document, args.max_regression)
-        print(("OK: " if ok else "FAIL: ") + message)
-        if not ok:
-            return 1
-    return 0
+    return emit_and_gate(rows, group="smart-contracts", scale_name=args.scale, args=args)
 
 
 if __name__ == "__main__":

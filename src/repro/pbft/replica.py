@@ -29,6 +29,7 @@ from repro.core.messages import (
     StateTransferRequest,
     StateTransferResponse,
 )
+from repro.core.reply_cache import ClientReplyTracker
 from repro.core.replica import block_execution_plan
 from repro.crypto.costs import CryptoCosts, DEFAULT_COSTS
 from repro.crypto.hashing import block_digest, sha256_hex
@@ -114,7 +115,10 @@ class PBFTReplica(Process):
         self._pending_request_ids: set = set()
         self._batch_timer: Optional[int] = None
         self._executing = False
-        self._last_reply: Dict[int, Tuple[int, Tuple[Any, ...]]] = {}
+        # Per-client reply state, shared with SBFTReplica: exact
+        # executed-timestamp tracking and the bounded per-request reply
+        # cache (see repro.core.reply_cache for the window invariant).
+        self._replies = ClientReplyTracker(config.client_max_outstanding)
         self._direct_reply_waiting: Dict[Tuple[int, int], int] = {}
 
         self._checkpoints: Dict[int, Dict[int, str]] = {}
@@ -260,9 +264,8 @@ class PBFTReplica(Process):
     # ------------------------------------------------------------------
     def _on_client_request(self, request: ClientRequest, src: int) -> None:
         request_id = request.request_id
-        last = self._last_reply.get(request.client_id)
-        if last is not None and last[0] >= request.timestamp:
-            self._send_reply(request.client_id)
+        if self._replies.executed(*request_id):
+            self._send_reply(request.client_id, request.timestamp)
             return
         self._request_first_seen.setdefault(request_id, self.sim.now)
         if not self.is_primary:
@@ -279,7 +282,8 @@ class PBFTReplica(Process):
     def _maybe_propose(self) -> None:
         if not self.is_primary or not self._pending_requests:
             return
-        if len(self._pending_requests) >= self.config.batch_size:
+        threshold = self.config.batch_threshold(self.next_sequence - 1 - self.last_executed)
+        if len(self._pending_requests) >= threshold:
             self._propose()
         elif self._batch_timer is None:
             self._batch_timer = self.set_timer(self.config.batch_timeout, self._on_batch_timeout)
@@ -301,8 +305,9 @@ class PBFTReplica(Process):
         if self._batch_timer is not None:
             self.cancel_timer(self._batch_timer)
             self._batch_timer = None
-        batch = tuple(self._pending_requests[: self.config.batch_size])
-        self._pending_requests = self._pending_requests[self.config.batch_size :]
+        take = self.config.batch_take()
+        batch = tuple(self._pending_requests[:take])
+        self._pending_requests = self._pending_requests[take:]
         for request in batch:
             self._pending_request_ids.discard(request.request_id)
 
@@ -443,7 +448,7 @@ class PBFTReplica(Process):
         for request in slot.pre_prepare.requests:
             count = len(request.operations)
             values = tuple(result.value for result in slot.execution_results[position : position + count])
-            self._last_reply[request.client_id] = (request.timestamp, values)
+            self._replies.record(request.client_id, request.timestamp, sequence, values)
             self.charge_cpu(self.costs.rsa_sign)
             signature = self.signing_key.sign(("reply", request.client_id, request.timestamp, values))
             self._send_to_client(
@@ -481,17 +486,20 @@ class PBFTReplica(Process):
             self._maybe_propose()
         self._try_execute()
 
-    def _send_reply(self, client_id: int) -> None:
-        last = self._last_reply.get(client_id)
-        if last is None:
+    def _send_reply(self, client_id: int, timestamp: int) -> None:
+        """Answer a retransmission of an executed request with its own reply,
+        cache-only — a replica that merely knows the request executed stays
+        silent (see :meth:`repro.core.replica.SBFTReplica._send_direct_reply`)."""
+        entry = self._replies.reply(client_id, timestamp)
+        if entry is None:
             return
-        timestamp, values = last
+        sequence, values = entry
         self.charge_cpu(self.costs.rsa_sign)
         signature = self.signing_key.sign(("reply", client_id, timestamp, values))
         self._send_to_client(
             client_id,
             ClientReply(
-                sequence=self.last_executed,
+                sequence=sequence,
                 client_id=client_id,
                 timestamp=timestamp,
                 values=values,
@@ -561,9 +569,8 @@ class PBFTReplica(Process):
             state_digest=slot.state_digest if slot is not None and slot.state_digest else "",
             snapshot=snapshot,
             stable_proof=None,
-            last_executed_per_client={
-                client: last[0] for client, last in self._last_reply.items()
-            },
+            last_executed_per_client=self._replies.prefixes(),
+            reply_cache=self._replies.cache_snapshot(),
         )
         self._send(src, response)
 
@@ -574,11 +581,8 @@ class PBFTReplica(Process):
         self.service.restore(message.snapshot)
         self.last_executed = message.up_to_sequence
         self.last_stable = max(self.last_stable, message.up_to_sequence)
-        if message.last_executed_per_client:
-            for client, timestamp in message.last_executed_per_client.items():
-                current = self._last_reply.get(client)
-                if current is None or current[0] < timestamp:
-                    self._last_reply[client] = (timestamp, ())
+        self._replies.adopt_prefixes(message.last_executed_per_client)
+        self._replies.adopt_cache(message.reply_cache)
         self._executing = False
         self._try_execute()
 

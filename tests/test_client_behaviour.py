@@ -64,8 +64,8 @@ def _pi_signature(sequence, digest):
 
 
 def _executed_ack_for(client):
-    """Build a valid execute-ack matching the client's in-flight request."""
-    request = client._in_flight
+    """Build a valid execute-ack matching the client's oldest in-flight request."""
+    request = next(iter(client._in_flight.values())).request
     store = AuthenticatedKVStore()
     results = store.execute_block(1, list(request.operations))
     digest = store.digest_at(1)
@@ -155,7 +155,7 @@ def test_client_ignores_acks_for_other_timestamps():
 def test_client_retry_broadcasts_and_accepts_f_plus_one_replies():
     sim, network, replicas, client = _make_client()
     sim.run(until=0.05)
-    assert client._in_flight is not None
+    assert client._in_flight
 
     # Let the retry timer fire: the request goes to every replica.
     sim.run(until=0.7)

@@ -1,5 +1,7 @@
 """Tests for the experiment drivers (run at a tiny scale so they stay fast)."""
 
+import json
+
 import pytest
 
 from repro.experiments.ablation import INGREDIENT_BY_PROTOCOL, run_ablation
@@ -141,6 +143,55 @@ def test_viewchange_study_reports_success():
     assert rows[0]["max_view"] >= 1
     summary = summarize(rows)
     assert summary["crash"]["success_rate"] == 1.0
+
+
+def test_client_sweep_rows_cover_grid_and_match_schema():
+    from repro.experiments.client_sweep import ROW_SCHEMA, run_client_sweep
+
+    rows = run_client_sweep(
+        scale_name="small", protocols=["sbft-c0"], client_counts=[4], seed=2
+    )
+    assert [row["policy"] for row in rows] == ["fixed", "adaptive"]
+    for row in rows:
+        assert row["all_completed"]
+        assert row["clients"] == 4
+        # The --help row schema documents every key a row actually carries.
+        assert set(row) <= set(ROW_SCHEMA), sorted(set(row) - set(ROW_SCHEMA))
+
+
+def test_client_sweep_cli_output_and_gate_roundtrip(tmp_path):
+    from repro.experiments.client_sweep import main
+
+    output = tmp_path / "bench.json"
+    argv = ["--scale", "small", "--protocols", "sbft-c0", "--clients", "4",
+            "--seed", "2", "--output", str(output)]
+    assert main(argv) == 0
+    document = json.loads(output.read_text())
+    assert {b["extra_info"]["policy"] for b in document["benchmarks"]} == {"fixed", "adaptive"}
+    # Gating a run against its own output passes (ratio 1.0).
+    assert main(argv[:-2] + ["--check-against", str(output)]) == 0
+
+
+def test_sweep_row_schemas_document_actual_keys():
+    """The --help epilogs of the other sweep CLIs list every row key."""
+    from repro.experiments.fault_sweep import ROW_SCHEMA as FAULT_SCHEMA
+    from repro.experiments.fault_sweep import run_fault_sweep
+    from repro.experiments.scale_sweep import ROW_SCHEMA as SCALE_SCHEMA
+    from repro.experiments.scale_sweep import run_scale_sweep
+    from repro.experiments.smart_contracts import ROW_SCHEMA as CONTRACT_SCHEMA
+    from repro.experiments.smart_contracts import run_smart_contract_sweep
+
+    scale_rows = run_scale_sweep(scale_name="small", f_values=[1], num_clients=2)
+    fault_rows = run_fault_sweep(scale_name="small", protocols=["sbft-c0"],
+                                 scenarios=["crash-backups"])
+    contract_rows = run_smart_contract_sweep(
+        scale_name="small", protocols=["pbft"], topologies=["continent"],
+        f_values=[1], num_transactions=60, num_clients=2,
+    )
+    for rows, schema in ((scale_rows, SCALE_SCHEMA), (fault_rows, FAULT_SCHEMA),
+                         (contract_rows, CONTRACT_SCHEMA)):
+        for row in rows:
+            assert set(row) <= set(schema), sorted(set(row) - set(schema))
 
 
 def test_format_table_renders_rows():

@@ -85,5 +85,5 @@ def test_pbft_checkpoint_garbage_collects_log():
 def test_pbft_deduplicates_client_retransmissions():
     cluster, result = run_small_cluster("pbft", f=1, num_clients=2, requests_per_client=3)
     replica = cluster.replicas[2]
-    for client_id, (timestamp, _values) in replica._last_reply.items():
+    for client_id, timestamp in replica._replies.prefixes().items():
         assert timestamp == 3

@@ -109,7 +109,7 @@ def test_duplicate_client_request_is_not_executed_twice():
     replica = cluster.replicas[1]
     # Each client issued 3 requests; the per-client reply cache must show the
     # latest timestamp exactly once (no double execution of a timestamp).
-    for client_id, (timestamp, _seq, _pos, _values) in replica._last_reply.items():
+    for client_id, timestamp in replica._replies.prefixes().items():
         assert timestamp == 3
 
 
