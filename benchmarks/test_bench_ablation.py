@@ -12,7 +12,6 @@ Expected shapes at any scale:
 
 from __future__ import annotations
 
-import pytest
 
 from conftest import attach_rows
 from repro.experiments.ablation import run_ablation

@@ -2,7 +2,6 @@
 
 from __future__ import annotations
 
-import pytest
 
 from conftest import attach_rows
 from repro.experiments.fig2_throughput import run_figure2

@@ -8,7 +8,6 @@ trials per primary-fault type and checks that every trial preserved liveness
 
 from __future__ import annotations
 
-import pytest
 
 from conftest import attach_rows
 from repro.experiments.viewchange_study import PRIMARY_FAULTS, run_viewchange_study, summarize

@@ -1,0 +1,939 @@
+"""AST-based protocol-invariant linter (zero third-party dependencies).
+
+Run as ``python -m repro.analysis.lint [paths...]``.  Each rule turns one of
+the repository's documented hot-path invariants (ROADMAP "Hot-path
+invariants", ``docs/architecture.md``) into a machine check:
+
+``dispatch-complete``
+    Every final message dataclass in ``core/messages.py`` and
+    ``pbft/messages.py`` must be registered in both ``_handlers`` and
+    ``_cost_table`` of ``SBFTReplica`` / ``PBFTReplica``.  Client-bound
+    messages (``ExecuteAck``, ``ClientReply``) are dispatched by the client
+    and are exempt from the replica tables.
+``no-wall-clock``
+    Deterministic packages must not read wall clocks or ambient entropy
+    (``time.time``, ``datetime.now``, ``os.urandom``, module-level
+    ``random.*`` draws, ``uuid``, ``secrets``).  Only injected seeded
+    ``random.Random`` instances may draw.
+``frozen-messages``
+    Message dataclasses (classes with a ``msg_type`` attribute) must be
+    ``@dataclass(frozen=True)`` and carry no mutable defaults.
+``ordered-iteration``
+    Iterating a ``set`` (or ``dict.keys`` of an unordered source) in a
+    decision-affecting module is flagged unless wrapped in ``sorted()`` or
+    fed to an order-insensitive consumer.
+``memo-purity``
+    Functions that read or write a memo table must not consult ``sim.now``,
+    an RNG, or declared global/nonlocal mutable state.
+``cli-schema-sync``
+    Each sweep CLI's ``ROW_SCHEMA`` (rendered into its ``--help`` epilog)
+    must list every key its rows actually emit, and must not document keys
+    the rows never produce.
+
+Findings may be suppressed per physical line with ``# repro: allow[rule]``
+(comma-separate multiple rule ids).  ``--json`` emits a machine-readable
+report.  Exit status is 1 when any unsuppressed finding remains.
+"""
+
+from __future__ import annotations
+
+import argparse
+import ast
+import json
+import re
+import sys
+from dataclasses import asdict, dataclass
+from pathlib import Path
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
+
+# --------------------------------------------------------------------------
+# Findings and modules
+# --------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One linter finding, addressable by rule id, file, and line."""
+
+    rule: str
+    path: str
+    line: int
+    col: int
+    message: str
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}: {self.rule}: {self.message}"
+
+
+_ALLOW_RE = re.compile(r"#\s*repro:\s*allow\[([A-Za-z0-9_\-, ]+)\]")
+
+# Sub-packages of ``repro`` whose code must stay deterministic.  The
+# ``experiments`` package is deliberately absent: benchmark harnesses
+# legitimately read ``time.perf_counter``/``process_time`` for wall-cost
+# reporting.  The empty string covers top-level ``repro/*.py`` modules.
+DETERMINISTIC_PACKAGES = frozenset(
+    {
+        "",
+        "analysis",
+        "core",
+        "crypto",
+        "evm",
+        "metrics",
+        "pbft",
+        "protocols",
+        "services",
+        "sim",
+        "workloads",
+    }
+)
+
+
+class Module:
+    """A parsed source file plus its suppression table."""
+
+    def __init__(self, path: Path, display: str, source: str) -> None:
+        self.path = path
+        self.display = display
+        self.source = source
+        self.tree = ast.parse(source, filename=display)
+        self.allows: Dict[int, Set[str]] = {}
+        for lineno, line in enumerate(source.splitlines(), start=1):
+            match = _ALLOW_RE.search(line)
+            if match:
+                rules = {part.strip() for part in match.group(1).split(",")}
+                self.allows[lineno] = {rule for rule in rules if rule}
+        self.package = self._repro_package(path)
+
+    @staticmethod
+    def _repro_package(path: Path) -> Optional[str]:
+        """The ``repro`` sub-package this file belongs to, if any.
+
+        Returns ``None`` for files outside a ``repro`` package directory
+        (e.g. test fixtures), which makes every per-module rule apply.
+        """
+        parts = path.parts
+        if "repro" not in parts:
+            return None
+        index = len(parts) - 1 - parts[::-1].index("repro")
+        remainder = parts[index + 1 :]
+        if len(remainder) <= 1:
+            return ""  # top-level repro/*.py module
+        return remainder[0]
+
+    @property
+    def deterministic(self) -> bool:
+        return self.package is None or self.package in DETERMINISTIC_PACKAGES
+
+    def suffix_is(self, *suffixes: str) -> bool:
+        posix = self.path.as_posix()
+        return any(posix.endswith(suffix) for suffix in suffixes)
+
+
+def iter_python_files(
+    paths: Sequence[Path], exclude: Sequence[Path] = ()
+) -> Iterator[Path]:
+    skipped = [path.as_posix().rstrip("/") + "/" for path in exclude]
+    for path in paths:
+        candidates = sorted(path.rglob("*.py")) if path.is_dir() else [path]
+        for candidate in candidates:
+            if candidate.suffix != ".py":
+                continue
+            posix = candidate.as_posix()
+            if any(posix.startswith(prefix) for prefix in skipped):
+                continue
+            yield candidate
+
+
+def load_modules(
+    paths: Sequence[Path], exclude: Sequence[Path] = ()
+) -> Tuple[List[Module], List[Finding]]:
+    modules: List[Module] = []
+    errors: List[Finding] = []
+    for file_path in iter_python_files(paths, exclude):
+        display = file_path.as_posix()
+        try:
+            source = file_path.read_text(encoding="utf-8")
+            modules.append(Module(file_path, display, source))
+        except SyntaxError as exc:
+            errors.append(
+                Finding("syntax-error", display, exc.lineno or 1, 0, f"cannot parse: {exc.msg}")
+            )
+        except OSError as exc:
+            errors.append(Finding("syntax-error", display, 1, 0, f"cannot read: {exc}"))
+    return modules, errors
+
+
+# --------------------------------------------------------------------------
+# AST helpers
+# --------------------------------------------------------------------------
+
+
+def _attr_chain(node: ast.AST) -> Optional[List[str]]:
+    """``a.b.c`` -> ``["a", "b", "c"]``; None for non-name chains."""
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return parts[::-1]
+    return None
+
+
+def _call_name(node: ast.Call) -> Optional[str]:
+    if isinstance(node.func, ast.Name):
+        return node.func.id
+    return None
+
+
+def _dict_str_keys(node: ast.Dict) -> List[Tuple[str, int]]:
+    keys = []
+    for key in node.keys:
+        if isinstance(key, ast.Constant) and isinstance(key.value, str):
+            keys.append((key.value, key.lineno))
+    return keys
+
+
+def _dict_name_keys(node: ast.Dict) -> List[str]:
+    names = []
+    for key in node.keys:
+        if isinstance(key, ast.Name):
+            names.append(key.id)
+        elif isinstance(key, ast.Attribute):
+            names.append(key.attr)
+    return names
+
+
+# --------------------------------------------------------------------------
+# Rule: no-wall-clock
+# --------------------------------------------------------------------------
+
+_TIME_FORBIDDEN = frozenset(
+    {
+        "time",
+        "time_ns",
+        "monotonic",
+        "monotonic_ns",
+        "perf_counter",
+        "perf_counter_ns",
+        "process_time",
+        "process_time_ns",
+        "localtime",
+        "gmtime",
+        "ctime",
+    }
+)
+_DATETIME_FORBIDDEN = frozenset({"now", "utcnow", "today"})
+_OS_FORBIDDEN = frozenset({"urandom", "getrandom"})
+_ENTROPY_MODULES = frozenset({"uuid", "secrets"})
+
+
+def check_no_wall_clock(module: Module) -> Iterator[Finding]:
+    if not module.deterministic:
+        return
+
+    def finding(node: ast.AST, message: str) -> Finding:
+        return Finding("no-wall-clock", module.display, node.lineno, node.col_offset, message)
+
+    for node in ast.walk(module.tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                root = alias.name.split(".")[0]
+                if root in _ENTROPY_MODULES:
+                    yield finding(node, f"import of entropy module '{root}' is forbidden here")
+        elif isinstance(node, ast.ImportFrom):
+            top = (node.module or "").split(".")[0]
+            if top in _ENTROPY_MODULES:
+                yield finding(node, f"import from entropy module '{top}' is forbidden here")
+            elif top == "time":
+                for alias in node.names:
+                    if alias.name in _TIME_FORBIDDEN:
+                        yield finding(node, f"wall-clock import 'time.{alias.name}'")
+            elif top == "random":
+                for alias in node.names:
+                    if alias.name != "Random":
+                        yield finding(
+                            node,
+                            f"module-level 'random.{alias.name}' import; draw from an "
+                            "injected seeded Random instead",
+                        )
+            elif top == "os":
+                for alias in node.names:
+                    if alias.name in _OS_FORBIDDEN:
+                        yield finding(node, f"ambient entropy 'os.{alias.name}'")
+        elif isinstance(node, ast.Attribute):
+            chain = _attr_chain(node)
+            if not chain or len(chain) < 2:
+                continue
+            root, attr = chain[0], chain[-1]
+            if root == "time" and attr in _TIME_FORBIDDEN:
+                yield finding(node, f"wall-clock read 'time.{attr}'; use sim.now")
+            elif root in ("datetime", "date") and attr in _DATETIME_FORBIDDEN:
+                yield finding(node, f"wall-clock read '{'.'.join(chain)}'; use sim.now")
+            elif root == "os" and attr in _OS_FORBIDDEN:
+                yield finding(node, f"ambient entropy 'os.{attr}'; use a seeded Random")
+            elif root in _ENTROPY_MODULES:
+                yield finding(node, f"ambient entropy '{'.'.join(chain)}'")
+            elif root == "random" and len(chain) == 2 and attr != "Random":
+                yield finding(
+                    node,
+                    f"module-level 'random.{attr}'; draw from an injected seeded "
+                    "Random instance instead",
+                )
+
+
+# --------------------------------------------------------------------------
+# Rule: frozen-messages
+# --------------------------------------------------------------------------
+
+_MUTABLE_FACTORIES = frozenset({"list", "dict", "set", "bytearray"})
+
+
+def _dataclass_decorator(cls: ast.ClassDef) -> Tuple[bool, bool]:
+    """-> (has dataclass decorator, has frozen=True)."""
+    for deco in cls.decorator_list:
+        target = deco.func if isinstance(deco, ast.Call) else deco
+        chain = _attr_chain(target)
+        if chain and chain[-1] == "dataclass":
+            if isinstance(deco, ast.Call):
+                for keyword in deco.keywords:
+                    if keyword.arg == "frozen":
+                        value = keyword.value
+                        frozen = isinstance(value, ast.Constant) and value.value is True
+                        return True, frozen
+            return True, False
+    return False, False
+
+
+def check_frozen_messages(module: Module) -> Iterator[Finding]:
+    for node in ast.walk(module.tree):
+        if not isinstance(node, ast.ClassDef):
+            continue
+        is_message = any(
+            isinstance(stmt, ast.Assign)
+            and any(isinstance(t, ast.Name) and t.id == "msg_type" for t in stmt.targets)
+            for stmt in node.body
+        )
+        if not is_message:
+            continue
+        has_dataclass, frozen = _dataclass_decorator(node)
+        if not has_dataclass:
+            yield Finding(
+                "frozen-messages",
+                module.display,
+                node.lineno,
+                node.col_offset,
+                f"message class {node.name} must be a @dataclass(frozen=True)",
+            )
+        elif not frozen:
+            yield Finding(
+                "frozen-messages",
+                module.display,
+                node.lineno,
+                node.col_offset,
+                f"message dataclass {node.name} must set frozen=True",
+            )
+        for stmt in node.body:
+            if not isinstance(stmt, ast.AnnAssign) or stmt.value is None:
+                continue
+            value = stmt.value
+            mutable = isinstance(value, (ast.List, ast.Dict, ast.Set))
+            if isinstance(value, ast.Call):
+                name = _call_name(value)
+                if name in _MUTABLE_FACTORIES:
+                    mutable = True
+                elif name == "field":
+                    for keyword in value.keywords:
+                        if (
+                            keyword.arg == "default_factory"
+                            and isinstance(keyword.value, ast.Name)
+                            and keyword.value.id in _MUTABLE_FACTORIES
+                        ):
+                            mutable = True
+            if mutable:
+                yield Finding(
+                    "frozen-messages",
+                    module.display,
+                    stmt.lineno,
+                    stmt.col_offset,
+                    f"mutable default on message field in {node.name}",
+                )
+
+
+# --------------------------------------------------------------------------
+# Rule: ordered-iteration
+# --------------------------------------------------------------------------
+
+_SET_ANNOTATION_RE = re.compile(r"\b(?:[Ff]rozen[Ss]et|[Ss]et)\b")
+_ORDER_INSENSITIVE = frozenset({"sorted", "len", "sum", "max", "min", "any", "all", "frozenset"})
+_ORDER_SENSITIVE_CONSUMERS = frozenset({"list", "tuple", "enumerate", "iter"})
+
+
+def _is_set_expr(node: ast.AST) -> bool:
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call):
+        return _call_name(node) in ("set", "frozenset")
+    return False
+
+
+def _collect_set_symbols(tree: ast.AST) -> Tuple[Set[str], Set[str]]:
+    """Names and attribute names bound to set-typed values anywhere."""
+    names: Set[str] = set()
+    attrs: Set[str] = set()
+
+    def note(target: ast.AST) -> None:
+        if isinstance(target, ast.Name):
+            names.add(target.id)
+        elif isinstance(target, ast.Attribute):
+            attrs.add(target.attr)
+
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Assign) and _is_set_expr(node.value):
+            for target in node.targets:
+                note(target)
+        elif isinstance(node, ast.AnnAssign):
+            annotation = ast.unparse(node.annotation)
+            if _SET_ANNOTATION_RE.search(annotation) or (
+                node.value is not None and _is_set_expr(node.value)
+            ):
+                note(node.target)
+        elif isinstance(node, ast.arg) and node.annotation is not None:
+            if _SET_ANNOTATION_RE.search(ast.unparse(node.annotation)):
+                names.add(node.arg)
+    return names, attrs
+
+
+def check_ordered_iteration(module: Module) -> Iterator[Finding]:
+    if not module.deterministic:
+        return
+    names, attrs = _collect_set_symbols(module.tree)
+
+    def is_set_ref(node: ast.AST) -> bool:
+        if _is_set_expr(node):
+            return True
+        if isinstance(node, ast.Name):
+            return node.id in names
+        if isinstance(node, ast.Attribute):
+            return node.attr in attrs
+        if isinstance(node, ast.Call):
+            chain = _attr_chain(node.func)
+            return bool(chain) and chain[-1] == "keys" and len(chain) >= 2
+        return False
+
+    def describe(node: ast.AST) -> str:
+        try:
+            return ast.unparse(node)
+        except Exception:  # pragma: no cover - unparse failure is cosmetic
+            return "<set>"
+
+    def finding(node: ast.AST) -> Finding:
+        return Finding(
+            "ordered-iteration",
+            module.display,
+            node.lineno,
+            node.col_offset,
+            f"iteration over unordered '{describe(node)}'; wrap in sorted() or "
+            "add '# repro: allow[ordered-iteration]' with a determinism argument",
+        )
+
+    for node in ast.walk(module.tree):
+        if isinstance(node, (ast.For, ast.AsyncFor)):
+            if is_set_ref(node.iter):
+                yield finding(node.iter)
+        elif isinstance(node, (ast.ListComp, ast.GeneratorExp, ast.DictComp)):
+            # Set comprehensions produce another unordered set, so iterating a
+            # set inside one is harmless; list/generator/dict comprehensions
+            # leak the iteration order (dicts preserve insertion order).
+            for comp in node.generators:
+                if is_set_ref(comp.iter):
+                    yield finding(comp.iter)
+        elif isinstance(node, ast.Call):
+            name = _call_name(node)
+            if name in _ORDER_SENSITIVE_CONSUMERS and node.args and is_set_ref(node.args[0]):
+                yield finding(node.args[0])
+
+
+# --------------------------------------------------------------------------
+# Rule: memo-purity
+# --------------------------------------------------------------------------
+
+
+def _is_memo_ref(node: ast.AST) -> bool:
+    if isinstance(node, ast.Name):
+        return "memo" in node.id.lower()
+    if isinstance(node, ast.Attribute):
+        return "memo" in node.attr.lower()
+    return False
+
+
+def _touches_memo_table(func: ast.AST) -> bool:
+    for node in ast.walk(func):
+        if isinstance(node, ast.Subscript) and _is_memo_ref(node.value):
+            return True
+        if (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr in ("get", "setdefault", "pop")
+            and _is_memo_ref(node.func.value)
+        ):
+            return True
+    return False
+
+
+def check_memo_purity(module: Module) -> Iterator[Finding]:
+    if not module.deterministic:
+        return
+    for func in ast.walk(module.tree):
+        if not isinstance(func, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue
+        if not _touches_memo_table(func):
+            continue
+
+        def finding(node: ast.AST, message: str) -> Finding:
+            return Finding(
+                "memo-purity",
+                module.display,
+                node.lineno,
+                node.col_offset,
+                f"memoized function {func.name} {message}",
+            )
+
+        for node in ast.walk(func):
+            if isinstance(node, ast.Attribute):
+                chain = _attr_chain(node)
+                if chain is None:
+                    continue
+                if node.attr == "now" and any(part in ("sim", "_sim") for part in chain[:-1]):
+                    yield finding(node, "reads the simulated clock (sim.now)")
+                elif node.attr in ("rng", "_rng"):
+                    yield finding(node, "reads an RNG; memo keys must be pure")
+                elif chain[0] == "random" and len(chain) == 2 and node.attr != "Random":
+                    yield finding(node, f"draws from module-level random.{node.attr}")
+                elif chain[0] == "time" and node.attr in _TIME_FORBIDDEN:
+                    yield finding(node, f"reads wall clock time.{node.attr}")
+            elif isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute):
+                receiver = node.func.value
+                if isinstance(receiver, ast.Name) and receiver.id in ("rng", "_rng"):
+                    yield finding(node, "draws from an RNG; memo keys must be pure")
+            elif isinstance(node, (ast.Global, ast.Nonlocal)):
+                impure = [name for name in node.names if "memo" not in name.lower()]
+                if impure:
+                    yield finding(
+                        node,
+                        f"rebinds {'/'.join(impure)} via "
+                        f"{'global' if isinstance(node, ast.Global) else 'nonlocal'}; "
+                        "mutable non-memo state breaks purity",
+                    )
+
+
+# --------------------------------------------------------------------------
+# Rule: dispatch-complete (project-wide)
+# --------------------------------------------------------------------------
+
+#: Messages dispatched by the *client* (``core/client.py``), never by replicas.
+CLIENT_BOUND_MESSAGES = frozenset({"ExecuteAck", "ClientReply"})
+
+
+def _message_classes(module: Module) -> Set[str]:
+    found: Set[str] = set()
+    for node in ast.walk(module.tree):
+        if isinstance(node, ast.ClassDef):
+            for stmt in node.body:
+                if isinstance(stmt, ast.Assign) and any(
+                    isinstance(t, ast.Name) and t.id == "msg_type" for t in stmt.targets
+                ):
+                    found.add(node.name)
+    return found
+
+
+def _class_def(module: Module, name: str) -> Optional[ast.ClassDef]:
+    for node in ast.walk(module.tree):
+        if isinstance(node, ast.ClassDef) and node.name == name:
+            return node
+    return None
+
+
+def _table_keys(cls: ast.ClassDef, attr: str) -> Optional[Tuple[Set[str], int]]:
+    """Keys of ``self.<attr> = {...}`` inside a class, or of the dict literal
+    returned by the builder method the attribute is assigned from."""
+    builder: Optional[str] = None
+    for node in ast.walk(cls):
+        if isinstance(node, ast.Assign) and len(node.targets) == 1:
+            target = node.targets[0]
+            if (
+                isinstance(target, ast.Attribute)
+                and target.attr == attr
+                and isinstance(target.value, ast.Name)
+                and target.value.id == "self"
+            ):
+                if isinstance(node.value, ast.Dict):
+                    return set(_dict_name_keys(node.value)), node.value.lineno
+                if isinstance(node.value, ast.Call):
+                    chain = _attr_chain(node.value.func)
+                    if chain:
+                        builder = chain[-1]
+    if builder is not None:
+        for node in ast.walk(cls):
+            if isinstance(node, ast.FunctionDef) and node.name == builder:
+                for stmt in ast.walk(node):
+                    if isinstance(stmt, ast.Return) and isinstance(stmt.value, ast.Dict):
+                        return set(_dict_name_keys(stmt.value)), stmt.value.lineno
+    return None
+
+
+_REPLICA_SPECS = (
+    {
+        "class": "SBFTReplica",
+        "replica": "repro/core/replica.py",
+        "messages": ("repro/core/messages.py",),
+        "imported_from": (),
+    },
+    {
+        "class": "PBFTReplica",
+        "replica": "repro/pbft/replica.py",
+        "messages": ("repro/pbft/messages.py",),
+        "imported_from": ("repro.core.messages",),
+    },
+)
+
+
+def check_dispatch_complete(modules: Sequence[Module]) -> Iterator[Finding]:
+    by_suffix: Dict[str, Module] = {}
+    for module in modules:
+        for suffix in (
+            "repro/core/messages.py",
+            "repro/pbft/messages.py",
+            "repro/core/replica.py",
+            "repro/pbft/replica.py",
+        ):
+            if module.suffix_is(suffix):
+                by_suffix[suffix] = module
+
+    for spec in _REPLICA_SPECS:
+        replica_module = by_suffix.get(spec["replica"])
+        message_modules = [by_suffix[s] for s in spec["messages"] if s in by_suffix]
+        if replica_module is None or not message_modules:
+            continue  # partial tree (e.g. linting a single file); nothing to check
+
+        required: Set[str] = set()
+        for message_module in message_modules:
+            required |= _message_classes(message_module)
+        # Messages the replica imports from other message modules (PBFT reuses
+        # the SBFT ClientRequest/PrePrepare/state-transfer messages).
+        for origin in spec["imported_from"]:
+            origin_module = by_suffix.get(origin.replace(".", "/") + ".py")
+            if origin_module is None:
+                continue
+            origin_messages = _message_classes(origin_module)
+            for node in ast.walk(replica_module.tree):
+                if isinstance(node, ast.ImportFrom) and (node.module or "") == origin:
+                    for alias in node.names:
+                        if alias.name in origin_messages:
+                            required.add(alias.name)
+        required -= CLIENT_BOUND_MESSAGES
+
+        cls = _class_def(replica_module, spec["class"])
+        if cls is None:
+            yield Finding(
+                "dispatch-complete",
+                replica_module.display,
+                1,
+                0,
+                f"expected class {spec['class']} in {spec['replica']}",
+            )
+            continue
+        for attr in ("_handlers", "_cost_table"):
+            table = _table_keys(cls, attr)
+            if table is None:
+                yield Finding(
+                    "dispatch-complete",
+                    replica_module.display,
+                    cls.lineno,
+                    cls.col_offset,
+                    f"{spec['class']} has no literal {attr} table",
+                )
+                continue
+            keys, lineno = table
+            for missing in sorted(required - keys):
+                yield Finding(
+                    "dispatch-complete",
+                    replica_module.display,
+                    lineno,
+                    0,
+                    f"message class {missing} is not registered in {spec['class']}.{attr}",
+                )
+
+
+# --------------------------------------------------------------------------
+# Rule: cli-schema-sync (project-wide)
+# --------------------------------------------------------------------------
+
+
+def _function_def(tree: ast.AST, name: str) -> Optional[ast.FunctionDef]:
+    for node in ast.walk(tree):
+        if isinstance(node, ast.FunctionDef) and node.name == name:
+            return node
+    return None
+
+
+def _return_dict_keys(func: ast.FunctionDef) -> Set[str]:
+    keys: Set[str] = set()
+    for node in ast.walk(func):
+        if isinstance(node, ast.Return) and isinstance(node.value, ast.Dict):
+            keys |= {k for k, _ in _dict_str_keys(node.value)}
+    return keys
+
+
+def _first_dict_literal_keys(func: ast.FunctionDef) -> Set[str]:
+    for node in ast.walk(func):
+        if isinstance(node, ast.Dict):
+            return {k for k, _ in _dict_str_keys(node)}
+    return set()
+
+
+def _schema_from_assign(node: ast.AST) -> Optional[Tuple[Set[str], Set[str], int]]:
+    """-> (all schema keys, sweep-specific keys, lineno) for a ROW_SCHEMA assign."""
+    if isinstance(node, ast.Assign):
+        targets, value = node.targets, node.value
+    elif isinstance(node, ast.AnnAssign) and node.value is not None:
+        targets, value = [node.target], node.value
+    else:
+        return None
+    if not any(isinstance(t, ast.Name) and t.id == "ROW_SCHEMA" for t in targets):
+        return None
+    if isinstance(value, ast.Dict):
+        keys = {k for k, _ in _dict_str_keys(value)}
+        return keys, keys, value.lineno
+    if (
+        isinstance(value, ast.Call)
+        and _call_name(value) == "dict"
+        and value.args
+        and isinstance(value.args[0], ast.Name)
+    ):
+        specific = {kw.arg for kw in value.keywords if kw.arg is not None}
+        return specific, specific, value.lineno  # caller unions in the common keys
+    return None
+
+
+def check_cli_schema_sync(modules: Sequence[Module]) -> Iterator[Finding]:
+    harness = collector = None
+    sweeps: List[Module] = []
+    for module in modules:
+        if module.suffix_is("repro/experiments/harness.py"):
+            harness = module
+        elif module.suffix_is("repro/metrics/collector.py"):
+            collector = module
+        elif "/experiments/" in module.path.as_posix():
+            sweeps.append(module)
+    if harness is None or collector is None:
+        return
+
+    common_keys: Set[str] = set()
+    for node in ast.walk(harness.tree):
+        if isinstance(node, (ast.Assign, ast.AnnAssign)):
+            targets = node.targets if isinstance(node, ast.Assign) else [node.target]
+            value = node.value
+            if (
+                any(isinstance(t, ast.Name) and t.id == "COMMON_ROW_SCHEMA" for t in targets)
+                and isinstance(value, ast.Dict)
+            ):
+                common_keys = {k for k, _ in _dict_str_keys(value)}
+    cost_fn = _function_def(harness.tree, "harness_cost_fields")
+    cost_keys = _return_dict_keys(cost_fn) if cost_fn else set()
+
+    as_row_keys: Set[str] = set()
+    run_result = _class_def(collector, "RunResult")
+    if run_result is not None:
+        as_row = _function_def(run_result, "as_row")
+        if as_row is not None:
+            as_row_keys = _first_dict_literal_keys(as_row)
+
+    for module in sweeps:
+        schema: Optional[Tuple[Set[str], Set[str], int]] = None
+        for node in module.tree.body:
+            schema = _schema_from_assign(node) or schema
+        worker = _function_def(module.tree, "_sweep_point_worker")
+        if schema is None or worker is None:
+            continue
+        schema_keys, specific_keys, schema_line = schema
+        schema_keys = schema_keys | common_keys
+
+        emitted: Set[str] = set()
+        uses_result_row = uses_cost_fields = False
+        for node in ast.walk(worker):
+            if isinstance(node, ast.Call):
+                name = _call_name(node) or (
+                    node.func.attr if isinstance(node.func, ast.Attribute) else None
+                )
+                if name == "result_row":
+                    uses_result_row = True
+                    emitted |= {kw.arg for kw in node.keywords if kw.arg is not None}
+                elif name == "harness_cost_fields":
+                    uses_cost_fields = True
+                elif name == "update" and node.args and isinstance(node.args[0], ast.Dict):
+                    emitted |= {k for k, _ in _dict_str_keys(node.args[0])}
+            elif isinstance(node, (ast.Assign, ast.AnnAssign)):
+                targets = node.targets if isinstance(node, ast.Assign) else [node.target]
+                for target in targets:
+                    if (
+                        isinstance(target, ast.Subscript)
+                        and isinstance(target.slice, ast.Constant)
+                        and isinstance(target.slice.value, str)
+                    ):
+                        emitted.add(target.slice.value)
+        if uses_result_row:
+            emitted |= as_row_keys
+        if uses_cost_fields:
+            emitted |= cost_keys
+        # ``result.run.extra["key"] = ...`` anywhere in the module surfaces in
+        # rows via RunResult.as_row()'s ``row.update(self.extra)``.
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.Assign):
+                for target in node.targets:
+                    if (
+                        isinstance(target, ast.Subscript)
+                        and isinstance(target.value, ast.Attribute)
+                        and target.value.attr == "extra"
+                        and isinstance(target.slice, ast.Constant)
+                        and isinstance(target.slice.value, str)
+                    ):
+                        emitted.add(target.slice.value)
+
+        for key in sorted(emitted - schema_keys):
+            yield Finding(
+                "cli-schema-sync",
+                module.display,
+                worker.lineno,
+                worker.col_offset,
+                f"row key '{key}' is emitted but missing from ROW_SCHEMA "
+                "(--help epilog would be stale)",
+            )
+        for key in sorted(specific_keys - emitted):
+            yield Finding(
+                "cli-schema-sync",
+                module.display,
+                schema_line,
+                0,
+                f"ROW_SCHEMA documents '{key}' but rows never emit it",
+            )
+
+
+# --------------------------------------------------------------------------
+# Driver
+# --------------------------------------------------------------------------
+
+MODULE_RULES = {
+    "no-wall-clock": check_no_wall_clock,
+    "frozen-messages": check_frozen_messages,
+    "ordered-iteration": check_ordered_iteration,
+    "memo-purity": check_memo_purity,
+}
+PROJECT_RULES = {
+    "dispatch-complete": check_dispatch_complete,
+    "cli-schema-sync": check_cli_schema_sync,
+}
+ALL_RULES = tuple(sorted(list(MODULE_RULES) + list(PROJECT_RULES)))
+
+
+def run_lint(
+    paths: Sequence[Path],
+    rules: Optional[Iterable[str]] = None,
+    exclude: Sequence[Path] = (),
+) -> Tuple[List[Finding], int]:
+    """Lint ``paths`` -> (unsuppressed findings, suppressed count)."""
+    enabled = set(rules) if rules is not None else set(ALL_RULES)
+    unknown = enabled - set(ALL_RULES)
+    if unknown:
+        raise ValueError(f"unknown rule(s): {', '.join(sorted(unknown))}")
+
+    modules, findings = load_modules(paths, exclude)
+    for name in sorted(MODULE_RULES):
+        if name not in enabled:
+            continue
+        for module in modules:
+            findings.extend(MODULE_RULES[name](module))
+    for name in sorted(PROJECT_RULES):
+        if name in enabled:
+            findings.extend(PROJECT_RULES[name](modules))
+
+    allow_tables = {module.display: module.allows for module in modules}
+    kept: List[Finding] = []
+    suppressed = 0
+    for finding in findings:
+        allowed = allow_tables.get(finding.path, {}).get(finding.line, set())
+        if finding.rule in allowed:
+            suppressed += 1
+        else:
+            kept.append(finding)
+    kept.sort(key=lambda f: (f.path, f.line, f.col, f.rule, f.message))
+    return kept, suppressed
+
+
+def report_json(findings: Sequence[Finding], suppressed: int) -> str:
+    return json.dumps(
+        {
+            "findings": [asdict(f) for f in findings],
+            "suppressed": suppressed,
+            "rules": list(ALL_RULES),
+        },
+        indent=2,
+    )
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis.lint",
+        description="Protocol-invariant linter for the SBFT reproduction.",
+    )
+    parser.add_argument("paths", nargs="*", default=["src"], help="files or directories to lint")
+    parser.add_argument(
+        "--rules", help="comma-separated rule ids to run (default: all)", default=None
+    )
+    parser.add_argument(
+        "--json",
+        dest="json_path",
+        metavar="FILE",
+        help="write a machine-readable report to FILE ('-' for stdout)",
+    )
+    parser.add_argument(
+        "--exclude",
+        action="append",
+        default=[],
+        metavar="DIR",
+        help="directory prefix to skip (repeatable); e.g. tests/fixtures/lint",
+    )
+    parser.add_argument("--list-rules", action="store_true", help="list rule ids and exit")
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        for rule in ALL_RULES:
+            print(rule)
+        return 0
+
+    rules = None
+    if args.rules:
+        rules = [part.strip() for part in args.rules.split(",") if part.strip()]
+    try:
+        findings, suppressed = run_lint(
+            [Path(p) for p in args.paths], rules, exclude=[Path(p) for p in args.exclude]
+        )
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    if args.json_path:
+        payload = report_json(findings, suppressed)
+        if args.json_path == "-":
+            print(payload)
+        else:
+            Path(args.json_path).write_text(payload + "\n", encoding="utf-8")
+    for finding in findings:
+        print(finding.render())
+    summary = f"{len(findings)} finding(s), {suppressed} suppressed"
+    print(summary, file=sys.stderr)
+    return 1 if findings else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

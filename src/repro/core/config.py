@@ -20,7 +20,7 @@ see ``docs/architecture.md``.  ``client_max_outstanding`` pipelines clients
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, replace
 from typing import Optional
 
 from repro.errors import ConfigurationError

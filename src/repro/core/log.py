@@ -10,7 +10,7 @@ slots between the last stable sequence number and ``ls + win``.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional, Tuple
+from typing import Any, Dict, List, Optional
 
 from repro.core.messages import PrePrepare
 from repro.crypto.threshold import CombinedSignature, SignatureShare

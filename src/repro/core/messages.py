@@ -8,7 +8,7 @@ client/replica signatures are 256 bytes, digests are 32 bytes.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Dict, Optional, Sequence, Tuple
 
 from repro.crypto.signatures import Signature

@@ -31,7 +31,7 @@ from __future__ import annotations
 from typing import Any, Dict, List, Optional, Tuple
 
 from repro.core.config import SBFTConfig
-from repro.core.keys import ReplicaKeys, TrustedSetup
+from repro.core.keys import ReplicaKeys
 from repro.core.log import ReplicaLog, SlotState
 from repro.core.messages import (
     CheckpointMsg,
@@ -70,7 +70,6 @@ from repro.core.viewchange import (
 )
 from repro.crypto.costs import CryptoCosts, DEFAULT_COSTS
 from repro.crypto.hashing import block_digest, sha256_hex
-from repro.crypto.threshold import CombinedSignature
 from repro.errors import ConfigurationError, CryptoError
 from repro.services.interface import AuthenticatedService, Operation, ReplicatedService
 from repro.sim.events import Simulator
@@ -358,6 +357,11 @@ class SBFTReplica(Process):
             ClientReply: constant(rsa_verify),
             ViewChange: view_change_cost,
             NewView: new_view_cost,
+            # State transfer is checked by digest comparison against the
+            # requester's own stable checkpoint; one hash each (these were
+            # previously priced by the default-cost fallback — same value).
+            StateTransferRequest: constant(hash_op),
+            StateTransferResponse: constant(hash_op),
         }
 
     def _message_cost(self, message: Any) -> float:

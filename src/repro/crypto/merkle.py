@@ -10,7 +10,7 @@ queries against a state snapshot.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, List, Optional, Sequence, Tuple
 
 from repro.crypto.hashing import memo_key, sha256_hex

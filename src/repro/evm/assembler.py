@@ -16,10 +16,10 @@ Labels are supported for jump targets: a line ``":loop"`` defines a label and
 
 from __future__ import annotations
 
-from typing import Iterable, List, Sequence, Union
+from typing import List, Sequence, Union
 
 from repro.errors import EVMError
-from repro.evm.opcodes import IMMEDIATE_WIDTHS, OPCODE_INFO, OPCODES, Op, opcode_name
+from repro.evm.opcodes import IMMEDIATE_WIDTHS, OPCODE_INFO, OPCODES, Op
 
 Instruction = Union[str, int]
 

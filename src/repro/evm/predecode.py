@@ -28,7 +28,7 @@ assembler-generated and raw-byte programs.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Tuple
 
 from repro.crypto.hashing import sha256_int
 from repro.errors import EVMError, OutOfGas

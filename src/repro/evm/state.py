@@ -10,7 +10,7 @@ the whole EVM state.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Dict, Optional
 
 from repro.crypto.hashing import sha256_hex

@@ -8,7 +8,7 @@ synthetic workload (like the real Ethereum trace) is dominated by transfers.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Optional
 
 from repro.errors import InvalidTransaction

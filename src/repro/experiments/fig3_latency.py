@@ -8,7 +8,7 @@ only reshapes the rows into per-protocol curves.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from repro.experiments.fig2_throughput import run_figure2
 from repro.experiments.harness import ExperimentScale, SMALL_SCALE

@@ -21,10 +21,9 @@ from __future__ import annotations
 import json
 import platform
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
-from repro.metrics.collector import RunResult
 from repro.protocols.cluster import ClusterResult, build_cluster
 from repro.sim.faults import FaultPlan
 from repro.version import __version__

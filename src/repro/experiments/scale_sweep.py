@@ -38,7 +38,7 @@ from __future__ import annotations
 
 import argparse
 import sys
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.errors import ConfigurationError
 from repro.experiments.harness import (

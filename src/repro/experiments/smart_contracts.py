@@ -112,7 +112,7 @@ def _sbft_c(protocol: str, f: int) -> Optional[int]:
     return protocol_sizes(protocol, f)[1] or None
 
 
-def _run_table_point(
+def run_contract_point(
     protocol: str,
     topology: str,
     f: int,
@@ -124,6 +124,12 @@ def _run_table_point(
     max_sim_time: float,
     label: str,
 ):
+    """Run one replicated smart-contract point; returns a ClusterResult.
+
+    Public so the determinism sanitizer (`repro.analysis.sanitizer`) can
+    replay a fixed-seed contract point; clear the deployment-shared execution
+    cache (:func:`clear_execution_cache`) between runs that must be compared.
+    """
     cluster = build_cluster(
         protocol,
         f=f,
@@ -156,7 +162,7 @@ def _sweep_point_worker(spec: Tuple) -> Dict:
     c = _sbft_c(protocol, f)
     label = f"{protocol}/{topology}/f={f}"
     wall, cpu, result = timed_rounds(
-        lambda: _run_table_point(
+        lambda: run_contract_point(
             protocol,
             topology,
             f,
@@ -241,7 +247,7 @@ def run_smart_contract_benchmark(
     for topology in topologies:
         for protocol in protocols:
             c = c_sbft if protocol == "sbft-c8" else None
-            result = _run_table_point(
+            result = run_contract_point(
                 protocol,
                 topology,
                 f,

@@ -13,7 +13,7 @@ faulty in one of several ways, and checks that
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Sequence
 
 from repro.protocols.cluster import build_cluster
 from repro.sim.faults import FaultPlan

@@ -42,7 +42,7 @@ from repro.pbft.messages import (
     PbftPrepare,
     PbftViewChange,
 )
-from repro.services.interface import Operation, ReplicatedService
+from repro.services.interface import ReplicatedService
 from repro.sim.events import Simulator
 from repro.sim.network import Network
 from repro.sim.process import Process

@@ -14,8 +14,9 @@ This is the public entry point most examples and benchmarks use::
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional
+from typing import Any, Dict, List, Optional, Tuple
 
 from repro.core.client import SBFTClient
 from repro.core.config import SBFTConfig
@@ -45,6 +46,11 @@ class ClusterResult:
     per_type_messages: Dict[str, int] = field(default_factory=dict)
     sim_time: float = 0.0
     events_processed: int = 0
+    # Populated only when the run was sanitized (REPRO_SANITIZE=1 or
+    # ``Cluster.run(sanitize=True)``): the rolling decision-hash chain over
+    # every executed event and the per-event records behind it.
+    decision_hash: Optional[str] = None
+    decision_trace: Optional[List[Tuple]] = None
 
     # Convenience pass-throughs used all over the benchmarks.
     @property
@@ -96,18 +102,30 @@ class Cluster:
         self.setup: Optional[TrustedSetup] = None
         self.injector: Optional[FaultInjector] = None
         self.recorder = LatencyRecorder()
+        self.sanitizer: Optional[Any] = None
 
     # ------------------------------------------------------------------
     # Construction
     # ------------------------------------------------------------------
-    def _build(self, workload: Any) -> None:
+    def _build(self, workload: Any, sanitize: bool = False) -> None:
         config = self.config
         n = config.n
         total_nodes = n + self.num_clients
 
         self.sim = Simulator(seed=self.seed)
+        self.sanitizer = None
+        if sanitize:
+            # Imported lazily: the sanitizer is opt-in instrumentation and the
+            # analysis package depends on nothing in the hot path.
+            from repro.analysis.sanitizer import DeterminismSanitizer
+
+            self.sanitizer = DeterminismSanitizer(self.sim)
         latency = make_topology(self.topology, total_nodes, **self.topology_kwargs)
         self.network = Network(self.sim, latency=latency, drop_rate=self.drop_rate)
+        if self.sanitizer is not None:
+            # The network owns a second RNG (derived from the simulator's);
+            # its draws must be counted too.
+            self.sanitizer.track_rng(self.network)
         self.setup = TrustedSetup(config, seed=self.seed)
         self.recorder = LatencyRecorder()
 
@@ -188,6 +206,7 @@ class Cluster:
         label: Optional[str] = None,
         timeline_bucket: Optional[float] = None,
         fault_phase: Optional[tuple] = None,
+        sanitize: Optional[bool] = None,
     ) -> ClusterResult:
         """Build the cluster, run the workload and summarize the results.
 
@@ -196,8 +215,15 @@ class Cluster:
         ``fault_phase`` pair of absolute ``(fault_start, fault_end)`` times
         additionally attaches before/during/after-fault phase aggregates
         (both used by the fault-sweep experiments).
+
+        ``sanitize`` turns on the determinism sanitizer
+        (:mod:`repro.analysis.sanitizer`): the result then carries a
+        ``decision_hash`` chain and per-event ``decision_trace``.  ``None``
+        (the default) defers to the ``REPRO_SANITIZE`` environment variable.
         """
-        self._build(workload)
+        if sanitize is None:
+            sanitize = os.environ.get("REPRO_SANITIZE", "") not in ("", "0")
+        self._build(workload, sanitize=sanitize)
         assert self.sim is not None and self.network is not None
 
         def all_clients_done() -> bool:
@@ -224,6 +250,8 @@ class Cluster:
             per_type_messages=dict(self.network.stats.per_type_count),
             sim_time=self.sim.now,
             events_processed=self.sim.events_processed,
+            decision_hash=self.sanitizer.chain_hash if self.sanitizer else None,
+            decision_trace=list(self.sanitizer.records) if self.sanitizer else None,
         )
 
 

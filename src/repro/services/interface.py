@@ -14,8 +14,8 @@ parameterised by:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Any, List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Any, List, Optional, Sequence
 
 
 @dataclass(frozen=True)

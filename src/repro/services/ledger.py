@@ -36,7 +36,6 @@ can never hit a stale entry.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from repro.crypto.costs import CryptoCosts, DEFAULT_COSTS

@@ -93,6 +93,11 @@ class Simulator:
         self._cancelled = 0
         self._compactions = 0
         self._stopped = False
+        # Optional per-event observer installed by the determinism sanitizer
+        # (repro.analysis.sanitizer).  When set, it is invoked with each event
+        # immediately after its callback runs; ``None`` keeps the hot loop at
+        # one attribute load of overhead.
+        self._trace: Optional[Callable[[Event], None]] = None
 
     # ------------------------------------------------------------------
     # Scheduling
@@ -230,6 +235,8 @@ class Simulator:
             event.owner = None
             self.now = event.time
             event.callback(*event.args)
+            if self._trace is not None:
+                self._trace(event)
             processed += 1
             self._events_processed += 1
             if self._stopped:

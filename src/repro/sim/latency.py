@@ -16,7 +16,7 @@ and 40–150 ms between continents.  The shapes in Figures 2 and 3 depend on the
 from __future__ import annotations
 
 import random
-from typing import Optional, Sequence
+from typing import Sequence
 
 from repro.errors import ConfigurationError
 

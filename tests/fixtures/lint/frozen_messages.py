@@ -1,0 +1,22 @@
+"""Planted frozen-messages violations (linter fixture; never imported)."""
+
+from dataclasses import dataclass, field
+from typing import List
+
+
+@dataclass
+class ThawedMessage:  # PLANT: frozen-messages
+    msg_type = "thawed"
+    view: int = 0
+
+
+@dataclass(frozen=True)
+class LeakyMessage:
+    msg_type = "leaky"
+    payload: List[int] = field(default_factory=list)  # PLANT: frozen-messages
+
+
+@dataclass(frozen=True)
+class GoodMessage:
+    msg_type = "good"
+    view: int = 0

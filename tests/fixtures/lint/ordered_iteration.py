@@ -1,0 +1,18 @@
+"""Planted ordered-iteration violations (linter fixture; never imported)."""
+
+
+class Membership:
+    def __init__(self):
+        self.active = set()
+
+    def broadcast_order(self):
+        return [peer for peer in self.active]  # PLANT: ordered-iteration
+
+
+def walk(peers: set):
+    for peer in peers:  # PLANT: ordered-iteration
+        print(peer)
+    listed = list({"a", "b", "c"})  # PLANT: ordered-iteration
+    stable = sorted(peers)  # order-insensitive wrapper: not a finding
+    present = {peer for peer in peers}  # set -> set: not a finding
+    return listed, stable, present

@@ -1,0 +1,9 @@
+"""Suppression-scope fixture: the allow comment silences exactly its line."""
+
+import time
+
+
+def suppressed_then_not():
+    allowed = time.time()  # repro: allow[no-wall-clock]
+    flagged = time.time()  # PLANT: no-wall-clock
+    return allowed, flagged

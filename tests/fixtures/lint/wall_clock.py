@@ -1,0 +1,18 @@
+"""Planted no-wall-clock violations (linter fixture; never imported)."""
+
+import random
+import time
+import uuid  # PLANT: no-wall-clock
+
+
+def timestamped():
+    started = time.time()  # PLANT: no-wall-clock
+    jitter = random.random()  # PLANT: no-wall-clock
+    token = uuid.uuid4()  # PLANT: no-wall-clock
+    return started, jitter, token
+
+
+def seeded_ok(seed):
+    # Constructing a seeded generator is the sanctioned pattern: not a finding.
+    rng = random.Random(seed)
+    return rng.random()

@@ -1,0 +1,181 @@
+"""Tests for the protocol-invariant linter (``repro.analysis.lint``).
+
+Fixture modules under ``tests/fixtures/lint/`` carry planted violations, each
+marked with a ``# PLANT: <rule>`` comment on the offending physical line, so
+the expected (line, rule) pairs are read from the fixtures themselves.
+"""
+
+import json
+import re
+import shutil
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.lint import ALL_RULES, run_lint
+from repro.analysis.lint import main as lint_main
+
+REPO = Path(__file__).resolve().parent.parent
+SRC = REPO / "src"
+FIXTURES = REPO / "tests" / "fixtures" / "lint"
+
+_PLANT_RE = re.compile(r"#\s*PLANT:\s*([a-z\-]+)")
+
+
+def planted_violations(path: Path):
+    """-> sorted [(line, rule)] read from the fixture's PLANT markers."""
+    marks = []
+    for lineno, line in enumerate(path.read_text().splitlines(), start=1):
+        match = _PLANT_RE.search(line)
+        if match:
+            marks.append((lineno, match.group(1)))
+    return sorted(marks)
+
+
+@pytest.mark.parametrize(
+    "fixture",
+    ["wall_clock.py", "frozen_messages.py", "ordered_iteration.py", "memo_purity.py"],
+)
+def test_planted_violations_reported_at_exact_lines(fixture):
+    path = FIXTURES / fixture
+    expected = planted_violations(path)
+    assert expected, f"fixture {fixture} has no PLANT markers"
+    findings, suppressed = run_lint([path])
+    assert sorted((f.line, f.rule) for f in findings) == expected
+    assert suppressed == 0
+    assert all(f.path == path.as_posix() for f in findings)
+
+
+def test_allow_comment_suppresses_exactly_one_line():
+    path = FIXTURES / "suppressions.py"
+    findings, suppressed = run_lint([path])
+    # Both lines read time.time(); only the un-annotated one survives.
+    assert [(f.line, f.rule) for f in findings] == [(8, "no-wall-clock")]
+    assert suppressed == 1
+
+
+def test_json_report_carries_rule_file_line(tmp_path, capsys):
+    report_path = tmp_path / "report.json"
+    exit_code = lint_main([str(FIXTURES), "--json", str(report_path)])
+    assert exit_code == 1  # planted violations -> nonzero (CI fail-demonstrably)
+    report = json.loads(report_path.read_text())
+    assert report["suppressed"] == 1
+    assert sorted(report["rules"]) == sorted(ALL_RULES)
+    findings = report["findings"]
+    assert findings, "expected planted findings in the JSON report"
+    for finding in findings:
+        assert set(finding) == {"rule", "path", "line", "col", "message"}
+        assert finding["rule"] in ALL_RULES
+        assert finding["line"] >= 1
+    planted = {
+        (path.name, line, rule)
+        for path in FIXTURES.glob("*.py")
+        for line, rule in planted_violations(path)
+    }
+    reported = {(Path(f["path"]).name, f["line"], f["rule"]) for f in findings}
+    assert planted == reported
+
+
+def test_src_tree_is_clean_and_exits_zero(capsys):
+    findings, _suppressed = run_lint([SRC])
+    assert findings == [], [f.render() for f in findings]
+    assert lint_main([str(SRC)]) == 0
+
+
+def test_rules_filter_and_unknown_rule():
+    findings, _ = run_lint([FIXTURES / "wall_clock.py"], rules=["frozen-messages"])
+    assert findings == []
+    with pytest.raises(ValueError):
+        run_lint([FIXTURES / "wall_clock.py"], rules=["no-such-rule"])
+    assert lint_main([str(FIXTURES), "--rules", "no-such-rule"]) == 2
+
+
+# ---------------------------------------------------------------------------
+# dispatch-complete: genuine failure when a registration is removed
+# ---------------------------------------------------------------------------
+
+
+def _mutated_tree(tmp_path: Path, relative: str, removed: str, inserted: str = "") -> Path:
+    """Copy ``src/repro`` and replace ``removed`` with ``inserted`` in one file."""
+    root = tmp_path / "repro"
+    shutil.copytree(SRC / "repro", root)
+    target = root / relative
+    text = target.read_text()
+    assert removed in text, f"mutation anchor not found in {relative}: {removed!r}"
+    target.write_text(text.replace(removed, inserted))
+    return root
+
+
+def test_dispatch_complete_clean_tree_has_no_findings():
+    findings, _ = run_lint([SRC], rules=["dispatch-complete"])
+    assert findings == []
+
+
+def test_dispatch_complete_fails_when_sbft_handler_removed(tmp_path):
+    root = _mutated_tree(
+        tmp_path, "core/replica.py", "            NewView: self._on_new_view,\n"
+    )
+    findings, _ = run_lint([root], rules=["dispatch-complete"])
+    assert len(findings) == 1
+    finding = findings[0]
+    assert finding.rule == "dispatch-complete"
+    assert finding.path.endswith("repro/core/replica.py")
+    assert "NewView" in finding.message and "_handlers" in finding.message
+
+
+def test_dispatch_complete_fails_when_sbft_cost_entry_removed(tmp_path):
+    root = _mutated_tree(
+        tmp_path, "core/replica.py", "            Prepare: constant(combined),\n"
+    )
+    findings, _ = run_lint([root], rules=["dispatch-complete"])
+    assert [
+        ("dispatch-complete", "Prepare" in f.message and "_cost_table" in f.message)
+        for f in findings
+    ] == [("dispatch-complete", True)]
+
+
+def test_dispatch_complete_fails_when_pbft_handler_removed(tmp_path):
+    root = _mutated_tree(
+        tmp_path, "pbft/replica.py", "            PbftCommit: self._on_commit,\n"
+    )
+    findings, _ = run_lint([root], rules=["dispatch-complete"])
+    assert len(findings) == 1
+    assert findings[0].path.endswith("repro/pbft/replica.py")
+    assert "PbftCommit" in findings[0].message and "_handlers" in findings[0].message
+
+
+# ---------------------------------------------------------------------------
+# cli-schema-sync: emitted row keys vs the documented --help schema
+# ---------------------------------------------------------------------------
+
+
+def test_cli_schema_sync_clean_tree_has_no_findings():
+    findings, _ = run_lint([SRC], rules=["cli-schema-sync"])
+    assert findings == []
+
+
+def test_cli_schema_sync_flags_undocumented_row_key(tmp_path):
+    root = _mutated_tree(
+        tmp_path,
+        "experiments/client_sweep.py",
+        "    row.update(harness_cost_fields(wall, cpu, result))\n",
+        "    row.update(harness_cost_fields(wall, cpu, result))\n"
+        '    row["undocumented_key"] = 1\n',
+    )
+    findings, _ = run_lint([root], rules=["cli-schema-sync"])
+    assert [f.rule for f in findings] == ["cli-schema-sync"]
+    assert "undocumented_key" in findings[0].message
+    assert findings[0].path.endswith("repro/experiments/client_sweep.py")
+
+
+def test_cli_schema_sync_flags_stale_schema_key(tmp_path):
+    root = _mutated_tree(
+        tmp_path,
+        "experiments/client_sweep.py",
+        "ROW_SCHEMA: Dict[str, str] = dict(\n    COMMON_ROW_SCHEMA,\n",
+        "ROW_SCHEMA: Dict[str, str] = dict(\n    COMMON_ROW_SCHEMA,\n"
+        '    ghost_key="documented but never emitted",\n',
+    )
+    findings, _ = run_lint([root], rules=["cli-schema-sync"])
+    assert [f.rule for f in findings] == ["cli-schema-sync"]
+    assert "ghost_key" in findings[0].message

@@ -1,6 +1,5 @@
 """Tests for the SBFT client: single-ack acceptance, rejection, retry fallback."""
 
-import pytest
 
 from helpers import run_small_cluster
 from repro.core.client import SBFTClient

@@ -9,7 +9,7 @@ from repro.crypto.bls import (
     bls_verify,
     bls_verify_aggregate,
 )
-from repro.crypto.mockgroup import DEFAULT_GROUP, GroupElement, MockGroup
+from repro.crypto.mockgroup import DEFAULT_GROUP, MockGroup
 from repro.errors import CryptoError
 
 

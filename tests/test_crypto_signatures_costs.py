@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.crypto.costs import DEFAULT_COSTS, MAC_ONLY_COSTS, CryptoCosts
+from repro.crypto.costs import DEFAULT_COSTS, MAC_ONLY_COSTS
 from repro.crypto.signatures import generate_keypair
 from repro.errors import CryptoError
 

@@ -2,7 +2,6 @@
 
 import json
 
-import pytest
 
 from repro.experiments.ablation import INGREDIENT_BY_PROTOCOL, run_ablation
 from repro.experiments.fig2_throughput import run_figure2, scaled_failures, throughput_series

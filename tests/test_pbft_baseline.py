@@ -1,6 +1,5 @@
 """Integration tests for the scale-optimized PBFT baseline."""
 
-import pytest
 
 from helpers import assert_agreement, run_small_cluster
 from repro.sim.faults import FaultPlan

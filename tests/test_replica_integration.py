@@ -5,7 +5,6 @@ the protocol-internal statistics (fast vs slow commits, message types on the
 wire) as well as client-visible outcomes.
 """
 
-import pytest
 
 from helpers import assert_agreement, run_small_cluster
 from repro.sim.faults import FaultPlan

@@ -1,6 +1,5 @@
 """Integration tests for view changes, Byzantine primaries and state transfer."""
 
-import pytest
 
 from helpers import assert_agreement, run_small_cluster
 from repro.sim.faults import FaultPlan

@@ -80,4 +80,4 @@ def test_contains_and_keys():
     store.put("x", 1)
     assert "x" in store
     assert "y" not in store
-    assert list(store.keys()) == ["x"]
+    assert list(store.keys()) == ["x"]  # repro: allow[ordered-iteration]
