@@ -1,0 +1,43 @@
+"""Smoke test for the committed profiling harness (``repro.experiments.profile``).
+
+Not a benchmark itself: it proves the harness the CI profile step (and the
+``docs/benchmarks.md`` snapshot) relies on actually runs end to end — the CLI
+exits 0, the pstats dump is loadable, and the emitted table parses.
+"""
+
+from __future__ import annotations
+
+import pstats
+
+from repro.experiments.profile import ROW_COLUMNS, main as profile_main
+
+
+def test_profile_cli_runs_and_table_parses(tmp_path, capsys):
+    dump = tmp_path / "profile.pstats"
+    exit_code = profile_main(
+        ["--f", "1", "--clients", "2", "--kv-batch", "2", "--top", "8", "--dump", str(dump)]
+    )
+    assert exit_code == 0
+
+    # The dump is a loadable pstats artifact (what CI uploads).
+    stats = pstats.Stats(str(dump))
+    assert stats.total_calls > 0
+
+    lines = capsys.readouterr().out.strip().splitlines()
+    assert lines[0].split() == list(ROW_COLUMNS)
+    assert 1 <= len(lines) - 2 <= 8
+    for line in lines[2:]:
+        cumtime, tottime, calls = line.split()[:3]
+        float(cumtime), float(tottime)
+        # ncalls may be "total/primitive" for recursive functions.
+        assert calls.replace("/", "").isdigit()
+
+
+def test_profile_cli_markdown_mode(capsys):
+    exit_code = profile_main(
+        ["--f", "1", "--clients", "2", "--kv-batch", "2", "--top", "5", "--markdown"]
+    )
+    assert exit_code == 0
+    lines = capsys.readouterr().out.strip().splitlines()
+    assert all(line.startswith("|") and line.endswith("|") for line in lines)
+    assert set(lines[1]) <= {"|", "-"}

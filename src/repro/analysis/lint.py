@@ -18,6 +18,11 @@ invariants", ``docs/architecture.md``) into a machine check:
 ``frozen-messages``
     Message dataclasses (classes with a ``msg_type`` attribute) must be
     ``@dataclass(frozen=True)`` and carry no mutable defaults.
+``slotted-messages``
+    Message dataclasses must pass ``slots=True`` (via the
+    :mod:`repro.compat` shim, which drops the flag on Python 3.9) and must
+    not define ``size_bytes`` as a method or property recomputed on every
+    call — sizes are stashed as plain ints once at construction.
 ``ordered-iteration``
     Iterating a ``set`` (or ``dict.keys`` of an unordered source) in a
     decision-affecting module is flagged unless wrapped in ``sorted()`` or
@@ -357,6 +362,63 @@ def check_frozen_messages(module: Module) -> Iterator[Finding]:
                     stmt.lineno,
                     stmt.col_offset,
                     f"mutable default on message field in {node.name}",
+                )
+
+
+# --------------------------------------------------------------------------
+# Rule: slotted-messages
+# --------------------------------------------------------------------------
+
+
+def _dataclass_keyword(cls: ast.ClassDef, name: str) -> bool:
+    """True when the class's ``@dataclass(...)`` decorator passes ``name=True``."""
+    for deco in cls.decorator_list:
+        if not isinstance(deco, ast.Call):
+            continue
+        chain = _attr_chain(deco.func)
+        if chain and chain[-1] == "dataclass":
+            for keyword in deco.keywords:
+                if keyword.arg == name:
+                    value = keyword.value
+                    return isinstance(value, ast.Constant) and value.value is True
+    return False
+
+
+def check_slotted_messages(module: Module) -> Iterator[Finding]:
+    for node in ast.walk(module.tree):
+        if not isinstance(node, ast.ClassDef):
+            continue
+        is_message = any(
+            isinstance(stmt, ast.Assign)
+            and any(isinstance(t, ast.Name) and t.id == "msg_type" for t in stmt.targets)
+            for stmt in node.body
+        )
+        if not is_message:
+            continue
+        has_dataclass, _frozen = _dataclass_decorator(node)
+        if not has_dataclass:
+            continue  # frozen-messages already flags non-dataclass messages
+        if not _dataclass_keyword(node, "slots"):
+            yield Finding(
+                "slotted-messages",
+                module.display,
+                node.lineno,
+                node.col_offset,
+                f"message dataclass {node.name} must pass slots=True "
+                "(import dataclass from repro.compat)",
+            )
+        for stmt in node.body:
+            if (
+                isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef))
+                and stmt.name == "size_bytes"
+            ):
+                yield Finding(
+                    "slotted-messages",
+                    module.display,
+                    stmt.lineno,
+                    stmt.col_offset,
+                    f"{node.name}.size_bytes is recomputed on every call; stash a "
+                    "plain int once in __post_init__ (or a class-level constant)",
                 )
 
 
@@ -826,6 +888,7 @@ def check_cli_schema_sync(modules: Sequence[Module]) -> Iterator[Finding]:
 MODULE_RULES = {
     "no-wall-clock": check_no_wall_clock,
     "frozen-messages": check_frozen_messages,
+    "slotted-messages": check_slotted_messages,
     "ordered-iteration": check_ordered_iteration,
     "memo-purity": check_memo_purity,
 }

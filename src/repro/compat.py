@@ -1,0 +1,28 @@
+"""Python-version compatibility helpers.
+
+``dataclass(slots=True)`` arrived in Python 3.10.  The message modules want
+slotted frozen dataclasses on every supported interpreter while keeping the
+literal ``@dataclass(frozen=True, slots=True)`` call form that the
+``slotted-messages`` lint rule (:mod:`repro.analysis.lint`) checks for, so
+they import ``dataclass`` from here instead of :mod:`dataclasses`.
+
+On 3.10+ this *is* the standard decorator.  On 3.9 the ``slots`` flag is
+dropped: instances keep a ``__dict__`` (slightly larger, identical
+semantics) and everything else — frozen-ness, field order, ``__post_init__``
+stashes via ``object.__setattr__`` — behaves the same.
+"""
+
+from __future__ import annotations
+
+import sys
+from dataclasses import dataclass as _std_dataclass
+
+if sys.version_info >= (3, 10):
+    dataclass = _std_dataclass
+else:  # pragma: no cover - exercised only on Python 3.9
+
+    def dataclass(cls=None, /, **kwargs):
+        kwargs.pop("slots", None)
+        if cls is None:
+            return _std_dataclass(**kwargs)
+        return _std_dataclass(cls, **kwargs)

@@ -23,6 +23,7 @@ from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from repro.core.config import SBFTConfig
 from repro.core.messages import ClientReply, ClientRequest, ExecuteAck
+from repro.core.stats import ClientStats
 from repro.crypto.costs import CryptoCosts, DEFAULT_COSTS
 from repro.crypto.hashing import sha256_hex
 from repro.crypto.signatures import SigningKey
@@ -93,7 +94,12 @@ class SBFTClient(Process):
 
         self.completed = 0
         self.accepted_values: List[Tuple[Any, ...]] = []
-        self.stats = {"acks_accepted": 0, "acks_rejected": 0, "fallbacks": 0, "retries": 0}
+        self.stats = ClientStats()
+        # Fired (at most once) when the client's workload drains, i.e. the
+        # first time :attr:`done` becomes true after a completion.  The
+        # cluster uses it for an O(1) are-we-finished check instead of
+        # scanning every client after every event.
+        self.on_done: Optional[Any] = None
 
         if self._requests:
             self.set_timer(start_delay, self._issue_next)
@@ -153,7 +159,7 @@ class SBFTClient(Process):
             return
         pending.retry_timer = None
         # Retry path: re-send to all replicas and ask for f+1 signed replies.
-        self.stats["retries"] += 1
+        self.stats.retries += 1
         self.network.broadcast_bulk(self.node_id, pending.request, range(self.config.n))
         pending.retry_timer = self.set_timer(
             self.config.client_retry_timeout, self._on_retry_timeout, timestamp
@@ -186,9 +192,9 @@ class SBFTClient(Process):
         if pending is None:
             return
         if not self._verify_ack(message, pending):
-            self.stats["acks_rejected"] += 1
+            self.stats.acks_rejected += 1
             return
-        self.stats["acks_accepted"] += 1
+        self.stats.acks_accepted += 1
         self._complete(pending, message.values)
 
     def _verify_ack(self, message: ExecuteAck, pending: _InFlightRequest) -> bool:
@@ -225,7 +231,7 @@ class SBFTClient(Process):
         voters = pending.fallback_replies.setdefault(key, set())
         voters.add(message.replica_id)
         if len(voters) >= self.config.f + 1:
-            self.stats["fallbacks"] += 1
+            self.stats.fallbacks += 1
             self._complete(pending, message.values)
 
     def _complete(self, pending: _InFlightRequest, values: Tuple[Any, ...]) -> None:
@@ -239,3 +245,5 @@ class SBFTClient(Process):
         self.accepted_values.append(values)
         self.recorder.record(pending.issued_at, self.sim.now, operations=len(request.operations))
         self._issue_next()
+        if self.on_done is not None and self.done:
+            self.on_done()

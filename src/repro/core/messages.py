@@ -1,16 +1,28 @@
 """SBFT protocol messages (Section V).
 
-Every message is a frozen dataclass with a ``msg_type`` tag (used for traffic
-accounting) and a ``size_bytes`` estimate (used by the network model).  Sizes
-follow the paper's accounting: BLS signatures/shares are 33 bytes, RSA-2048
-client/replica signatures are 256 bytes, digests are 32 bytes.
+Every message is a slotted frozen dataclass with a ``msg_type`` tag (used for
+traffic accounting) and a ``size_bytes`` estimate (used by the network model).
+Sizes follow the paper's accounting: BLS signatures/shares are 33 bytes,
+RSA-2048 client/replica signatures are 256 bytes, digests are 32 bytes.
+
+Hot-path representation invariants (enforced by the ``slotted-messages`` lint
+rule and ``tests/test_hot_path_representation.py``):
+
+* every message class passes ``slots=True`` to ``@dataclass`` (via the
+  :mod:`repro.compat` shim, which drops the flag on Python 3.9), so instances
+  carry no ``__dict__`` and attribute reads are C-level slot loads;
+* ``size_bytes`` is an ``int`` computed exactly once in ``__post_init__``
+  (or a class-level constant for fixed-size messages) — never a property
+  recomputed on every send/record;
+* hot derived keys (``ClientRequest.request_id``) are stashed the same way.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import field
 from typing import Any, Dict, Optional, Sequence, Tuple
 
+from repro.compat import dataclass
 from repro.crypto.signatures import Signature
 from repro.crypto.threshold import CombinedSignature, SignatureShare
 from repro.services.interface import ExecutionProof, Operation
@@ -22,7 +34,12 @@ def _ops_size(operations: Sequence[Operation]) -> int:
     return sum(op.size_bytes for op in operations)
 
 
-@dataclass(frozen=True)
+def _stash(message: Any, size: int) -> None:
+    """Set the ``size_bytes`` field of a frozen message at construction."""
+    object.__setattr__(message, "size_bytes", size)
+
+
+@dataclass(frozen=True, slots=True)
 class ClientRequest:
     """⟨"request", o, t, k⟩ — a client's (possibly batched) operation request."""
 
@@ -32,17 +49,15 @@ class ClientRequest:
     timestamp: int
     operations: Tuple[Operation, ...]
     signature: Optional[Signature] = None
+    size_bytes: int = field(init=False, compare=False, repr=False, default=0)
+    request_id: Tuple[int, int] = field(init=False, compare=False, repr=False, default=(0, 0))
 
-    @property
-    def size_bytes(self) -> int:
-        return _HEADER + _ops_size(self.operations) + (256 if self.signature else 0)
-
-    @property
-    def request_id(self) -> Tuple[int, int]:
-        return (self.client_id, self.timestamp)
+    def __post_init__(self):
+        _stash(self, _HEADER + _ops_size(self.operations) + (256 if self.signature else 0))
+        object.__setattr__(self, "request_id", (self.client_id, self.timestamp))
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class PrePrepare:
     """⟨"pre-prepare", s, v, r⟩ — the primary's decision-block proposal."""
 
@@ -53,13 +68,16 @@ class PrePrepare:
     requests: Tuple[ClientRequest, ...]
     digest: str
     primary_signature: Optional[Signature] = None
+    size_bytes: int = field(init=False, compare=False, repr=False, default=0)
+    # Execution-plan stash filled lazily by ``block_execution_plan`` (the same
+    # frozen object reaches every replica; see repro.core.replica).
+    _exec_plan: Any = field(init=False, compare=False, repr=False, default=None)
 
-    @property
-    def size_bytes(self) -> int:
-        return _HEADER + 32 + sum(r.size_bytes for r in self.requests) + 256
+    def __post_init__(self):
+        _stash(self, _HEADER + 32 + sum(r.size_bytes for r in self.requests) + 256)
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class SignShare:
     """⟨"sign-share", s, v, σ_i(h) [, τ_i(h)]⟩ sent to the C-collectors."""
 
@@ -71,50 +89,45 @@ class SignShare:
     digest: str
     sigma_share: Optional[SignatureShare] = None
     tau_share: Optional[SignatureShare] = None
+    size_bytes: int = field(init=False, compare=False, repr=False, default=0)
 
-    @property
-    def size_bytes(self) -> int:
+    def __post_init__(self):
         shares = (1 if self.sigma_share else 0) + (1 if self.tau_share else 0)
-        return _HEADER + 32 + 33 * shares
+        _stash(self, _HEADER + 32 + 33 * shares)
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class FullCommitProof:
     """⟨"full-commit-proof", s, v, σ(h)⟩ — the fast-path commit certificate."""
 
     msg_type = "full-commit-proof"
+    size_bytes = _HEADER + 32 + 33
 
     sequence: int
     view: int
     digest: str
     sigma_signature: CombinedSignature
 
-    @property
-    def size_bytes(self) -> int:
-        return _HEADER + 32 + 33
 
-
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Prepare:
     """⟨"prepare", s, v, τ(h)⟩ — linear-PBFT prepare certificate from a collector."""
 
     msg_type = "prepare"
+    size_bytes = _HEADER + 32 + 33
 
     sequence: int
     view: int
     digest: str
     tau_signature: CombinedSignature
 
-    @property
-    def size_bytes(self) -> int:
-        return _HEADER + 32 + 33
 
-
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Commit:
     """⟨"commit", s, v, τ_i(τ(h))⟩ — a replica's share over the prepare certificate."""
 
     msg_type = "commit"
+    size_bytes = _HEADER + 32 + 33
 
     sequence: int
     view: int
@@ -122,59 +135,46 @@ class Commit:
     digest: str
     tau_share_on_tau: SignatureShare
 
-    @property
-    def size_bytes(self) -> int:
-        return _HEADER + 32 + 33
 
-
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class FullCommitProofSlow:
     """⟨"full-commit-proof-slow", s, v, τ(τ(h))⟩ — the linear-PBFT commit certificate."""
 
     msg_type = "full-commit-proof-slow"
+    size_bytes = _HEADER + 32 + 33
 
     sequence: int
     view: int
     digest: str
     tau_tau_signature: CombinedSignature
 
-    @property
-    def size_bytes(self) -> int:
-        return _HEADER + 32 + 33
 
-
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class SignState:
     """⟨"sign-state", s, π_i(d)⟩ sent to the E-collectors after execution."""
 
     msg_type = "sign-state"
+    size_bytes = _HEADER + 32 + 33
 
     sequence: int
     replica_id: int
     state_digest: str
     pi_share: SignatureShare
 
-    @property
-    def size_bytes(self) -> int:
-        return _HEADER + 32 + 33
 
-
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class FullExecuteProof:
     """⟨"full-execute-proof", s, π(d)⟩ — the execution certificate."""
 
     msg_type = "full-execute-proof"
+    size_bytes = _HEADER + 32 + 33
 
     sequence: int
     state_digest: str
     pi_signature: CombinedSignature
 
-    @property
-    def size_bytes(self) -> int:
-        return _HEADER + 32 + 33
 
-
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class ExecuteAck:
     """⟨"execute-ack", s, l, val, o, π(d), proof⟩ — the single client acknowledgement."""
 
@@ -188,13 +188,14 @@ class ExecuteAck:
     state_digest: str
     pi_signature: CombinedSignature
     proof: ExecutionProof
+    size_bytes: int = field(init=False, compare=False, repr=False, default=0)
 
-    @property
-    def size_bytes(self) -> int:
-        return _HEADER + 32 + 33 + self.proof.size_bytes + 16 * max(1, len(self.values))
+    def __post_init__(self):
+        proof_size = getattr(self.proof, "size_bytes", 0)  # tests pass proof=None
+        _stash(self, _HEADER + 32 + 33 + proof_size + 16 * max(1, len(self.values)))
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class ClientReply:
     """Fallback PBFT-style signed reply from one replica (f+1 path)."""
 
@@ -206,41 +207,35 @@ class ClientReply:
     values: Tuple[Any, ...]
     replica_id: int
     signature: Signature
+    size_bytes: int = field(init=False, compare=False, repr=False, default=0)
 
-    @property
-    def size_bytes(self) -> int:
-        return _HEADER + 256 + 16 * max(1, len(self.values))
+    def __post_init__(self):
+        _stash(self, _HEADER + 256 + 16 * max(1, len(self.values)))
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class CheckpointMsg:
     """Checkpoint vote: the π-share over the state digest at a checkpoint sequence."""
 
     msg_type = "checkpoint"
+    size_bytes = _HEADER + 32 + 33
 
     sequence: int
     replica_id: int
     state_digest: str
     pi_share: SignatureShare
 
-    @property
-    def size_bytes(self) -> int:
-        return _HEADER + 32 + 33
 
-
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class StableCheckpoint:
     """A combined π(d) proof that a checkpoint is stable."""
 
     msg_type = "stable-checkpoint"
+    size_bytes = _HEADER + 32 + 33
 
     sequence: int
     state_digest: str
     pi_signature: CombinedSignature
-
-    @property
-    def size_bytes(self) -> int:
-        return _HEADER + 32 + 33
 
 
 # ----------------------------------------------------------------------
@@ -248,7 +243,7 @@ class StableCheckpoint:
 # ----------------------------------------------------------------------
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class SlotEvidence:
     """Per-slot evidence (lm_j, fm_j) carried in a view-change message.
 
@@ -271,13 +266,13 @@ class SlotEvidence:
     lm: Tuple
     fm: Tuple
     requests_by_digest: Tuple[Tuple[str, Tuple["ClientRequest", ...]], ...] = ()
+    size_bytes: int = field(init=False, compare=False, repr=False, default=0)
 
-    @property
-    def size_bytes(self) -> int:
+    def __post_init__(self):
         payload = sum(
             sum(r.size_bytes for r in requests) for _digest, requests in self.requests_by_digest
         )
-        return 16 + 80 + 80 + payload
+        _stash(self, 16 + 80 + 80 + payload)
 
     def requests_for(self, digest: str) -> Optional[Tuple["ClientRequest", ...]]:
         for known_digest, requests in self.requests_by_digest:
@@ -286,7 +281,7 @@ class SlotEvidence:
         return None
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class ViewChange:
     """⟨"view-change", v, ls, x_ls .. x_{ls+win}⟩."""
 
@@ -297,13 +292,13 @@ class ViewChange:
     last_stable: int
     stable_proof: Optional[CombinedSignature]
     slots: Tuple[SlotEvidence, ...]
+    size_bytes: int = field(init=False, compare=False, repr=False, default=0)
 
-    @property
-    def size_bytes(self) -> int:
-        return _HEADER + 33 + sum(s.size_bytes for s in self.slots)
+    def __post_init__(self):
+        _stash(self, _HEADER + 33 + sum(s.size_bytes for s in self.slots))
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class NewView:
     """The new primary's new-view message: the 2f+2c+1 view-change messages it used."""
 
@@ -311,10 +306,10 @@ class NewView:
 
     view: int
     view_changes: Tuple[ViewChange, ...]
+    size_bytes: int = field(init=False, compare=False, repr=False, default=0)
 
-    @property
-    def size_bytes(self) -> int:
-        return _HEADER + sum(vc.size_bytes for vc in self.view_changes)
+    def __post_init__(self):
+        _stash(self, _HEADER + sum(vc.size_bytes for vc in self.view_changes))
 
 
 # ----------------------------------------------------------------------
@@ -322,25 +317,23 @@ class NewView:
 # ----------------------------------------------------------------------
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class StateTransferRequest:
     """A lagging replica asks a peer for the state up to a sequence number."""
 
     msg_type = "state-transfer-request"
+    size_bytes = _HEADER + 8
 
     replica_id: int
     from_sequence: int
 
-    @property
-    def size_bytes(self) -> int:
-        return _HEADER + 8
 
-
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class StateTransferResponse:
     """Snapshot shipped to a lagging replica."""
 
     msg_type = "state-transfer-response"
+    size_bytes = _HEADER + 32 + 33 + 4096
 
     up_to_sequence: int
     state_digest: str
@@ -352,7 +345,3 @@ class StateTransferResponse:
     # requests with their *real* values (PBFT ships the last replies with the
     # checkpoint state for exactly this reason).
     reply_cache: Optional[Dict[int, Dict[int, Any]]] = None
-
-    @property
-    def size_bytes(self) -> int:
-        return _HEADER + 32 + 33 + 4096

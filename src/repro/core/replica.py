@@ -55,6 +55,7 @@ from repro.core.messages import (
 )
 from repro.core.reply_cache import ClientReplyTracker
 from repro.core.roles import commit_collectors, execution_collectors, primary_of_view
+from repro.core.stats import SBFTReplicaStats
 from repro.core.viewchange import (
     ACTION_ADOPT,
     ACTION_COMMIT,
@@ -87,7 +88,7 @@ def block_execution_plan(pre_prepare, service, costs) -> Tuple[List[Operation], 
     (SBFT and PBFT replicas share this helper).  The guard re-computes if a
     differently-configured replica ever shares the message.
     """
-    memo = pre_prepare.__dict__.get("_exec_plan")
+    memo = pre_prepare._exec_plan
     service_type = type(service)
     if memo is not None and memo[0] is service_type and memo[1] is costs:
         return memo[2], memo[3]
@@ -193,16 +194,8 @@ class SBFTReplica(Process):
         }
         self._cost_table = self._build_cost_table(costs)
 
-        # Statistics.
-        self.stats = {
-            "blocks_proposed": 0,
-            "blocks_committed": 0,
-            "blocks_committed_fast": 0,
-            "blocks_committed_slow": 0,
-            "blocks_executed": 0,
-            "view_changes": 0,
-            "state_transfers": 0,
-        }
+        # Statistics (slotted fixed-key counters; mapping reads still work).
+        self.stats = SBFTReplicaStats()
 
     # ==================================================================
     # Role helpers
@@ -456,7 +449,7 @@ class SBFTReplica(Process):
             digest=digest,
             primary_signature=signature,
         )
-        self.stats["blocks_proposed"] += 1
+        self.stats.blocks_proposed += 1
 
         if self.byzantine_mode == "equivocate":
             self._equivocate_pre_prepare(sequence, requests, signature)
@@ -710,8 +703,11 @@ class SBFTReplica(Process):
         if slot.fast_path_timer is not None:
             self.cancel_timer(slot.fast_path_timer)
             slot.fast_path_timer = None
-        self.stats["blocks_committed"] += 1
-        self.stats["blocks_committed_fast" if fast else "blocks_committed_slow"] += 1
+        self.stats.blocks_committed += 1
+        if fast:
+            self.stats.blocks_committed_fast += 1
+        else:
+            self.stats.blocks_committed_slow += 1
         # Section V-F: committing in the fast path advances the stable point.
         if fast:
             implied_stable = slot.sequence - self.config.active_window
@@ -747,7 +743,7 @@ class SBFTReplica(Process):
         slot.execution_results = results
         slot.executed = True
         self.last_executed = sequence
-        self.stats["blocks_executed"] += 1
+        self.stats.blocks_executed += 1
 
         if isinstance(self.service, AuthenticatedService):
             state_digest = self.service.digest()
@@ -1011,7 +1007,7 @@ class SBFTReplica(Process):
         if new_view <= self.view or new_view in self._view_change_sent_for:
             return
         self._view_change_sent_for.add(new_view)
-        self.stats["view_changes"] += 1
+        self.stats.view_changes += 1
         message = self.build_view_change(new_view)
         # Send to the new primary; also to everyone so that f+1 observations
         # can trigger laggards to join (the paper's liveness rule 2).
@@ -1208,7 +1204,7 @@ class SBFTReplica(Process):
             return
         self._state_transfer_seq = self.last_executed
         self._state_transfer_at = self.sim.now
-        self.stats["state_transfers"] += 1
+        self.stats.state_transfers += 1
         self._send(target, StateTransferRequest(replica_id=self.node_id, from_sequence=self.last_executed))
 
     def _on_state_transfer_request(self, message: StateTransferRequest, src: int) -> None:

@@ -9,27 +9,25 @@ interpolation is needed.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from typing import Iterable, Optional
 
+from repro.compat import dataclass
 from repro.crypto.hashing import sha256_int
 from repro.crypto.mockgroup import DEFAULT_GROUP, GroupElement, MockGroup
 from repro.errors import CryptoError, InvalidSignature
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class BLSSignature:
     """A BLS signature (or aggregate) on a message digest."""
+
+    size_bytes = 33  # compressed curve point
 
     point: GroupElement
     signer_ids: tuple = ()
 
     def encode(self) -> bytes:
         return self.point.encode()
-
-    @property
-    def size_bytes(self) -> int:
-        return 33
 
 
 @dataclass(frozen=True)

@@ -10,9 +10,10 @@ queries against a state snapshot.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import field
 from typing import Any, List, Optional, Sequence, Tuple
 
+from repro.compat import dataclass
 from repro.crypto.hashing import memo_key, sha256_hex
 from repro.errors import InvalidProof
 
@@ -53,17 +54,17 @@ def _node_hash(left: str, right: str) -> str:
     return cached
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class MerkleProof:
     """An inclusion proof: the leaf index, value hash and sibling path."""
 
     leaf_index: int
     leaf_count: int
     path: Tuple[Tuple[str, bool], ...]  # (sibling_hash, sibling_is_right)
+    size_bytes: int = field(init=False, compare=False, repr=False, default=0)
 
-    @property
-    def size_bytes(self) -> int:
-        return 16 + 32 * len(self.path)
+    def __post_init__(self):
+        object.__setattr__(self, "size_bytes", 16 + 32 * len(self.path))
 
     def root_from(self, value: Any) -> str:
         """Recompute the root implied by this proof for ``value``."""

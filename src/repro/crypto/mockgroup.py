@@ -17,8 +17,7 @@ operation so the simulation is not distorted by the cheap math.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-
+from repro.compat import dataclass
 from repro.errors import CryptoError
 
 # Order of the BN-P254 group (the curve the paper uses).  Any large prime
@@ -26,7 +25,7 @@ from repro.errors import CryptoError
 BN254_ORDER = 0x2523648240000001BA344D8000000007FF9F800000000010A10000000000000D
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class GroupElement:
     """An element of the mock group, represented by its exponent mod ``q``."""
 

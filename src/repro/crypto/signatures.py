@@ -10,22 +10,19 @@ RSA-like costs through :mod:`repro.crypto.costs`.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-
+from repro.compat import dataclass
 from repro.crypto.hashing import sha256_hex
 from repro.errors import CryptoError
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Signature:
     """A signature over a message digest by one key pair."""
 
+    size_bytes = 256  # RSA-2048 signature size
+
     signer: str
     digest: str
-
-    @property
-    def size_bytes(self) -> int:
-        return 256  # RSA-2048 signature size
 
 
 @dataclass(frozen=True)

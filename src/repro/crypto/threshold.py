@@ -17,40 +17,36 @@ before combining — exactly what the paper requires of its scheme.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict, Iterable, List
+from typing import Dict, Iterable, List, Tuple
 
+from repro.compat import dataclass
 from repro.crypto.hashing import memo_key, sha256_int
 from repro.crypto.mockgroup import DEFAULT_GROUP, GroupElement, MockGroup
 from repro.errors import CryptoError, InvalidSignatureShare
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class SignatureShare:
     """A single signer's threshold signature share on a message digest."""
+
+    size_bytes = 33  # compressed BLS point
 
     scheme_name: str
     signer_id: int
     message: object
     point: GroupElement
 
-    @property
-    def size_bytes(self) -> int:
-        return 33
 
-
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class CombinedSignature:
     """A combined (full) threshold signature, verifiable with one public key."""
+
+    size_bytes = 33  # compressed BLS point
 
     scheme_name: str
     message: object
     point: GroupElement
     signer_ids: tuple = ()
-
-    @property
-    def size_bytes(self) -> int:
-        return 33
 
 
 class ThresholdScheme:
@@ -97,6 +93,12 @@ class ThresholdScheme:
         self._hash_memo: Dict[object, GroupElement] = {}
         self._share_memo: Dict[object, bool] = {}
         self._combined_memo: Dict[object, bool] = {}
+        # Lagrange coefficient vectors keyed by the sorted signer subset.
+        # Collectors overwhelmingly combine the same subset (the first
+        # ``threshold`` responders), so interpolation-at-zero — O(k) modular
+        # multiplications plus a modular inverse per signer — runs once per
+        # subset instead of once per combine.  Pure function of the subset.
+        self._lagrange_memo: Dict[Tuple[int, ...], Tuple[int, ...]] = {}
 
     # ------------------------------------------------------------------
     # Signing / share verification
@@ -180,13 +182,27 @@ class ThresholdScheme:
             raise CryptoError(
                 f"scheme {self.name}: have {len(by_signer)} shares, need {self.threshold}"
             )
-        chosen = sorted(by_signer)[: self.threshold]
-        indices = [i + 1 for i in chosen]  # Shamir x-coordinates are 1-based
-        total = GroupElement(0, self.group.order)
-        for signer_id in chosen:
-            coeff = self.group.lagrange_coefficient(signer_id + 1, indices)
-            total = total + by_signer[signer_id].point.scale(coeff)
-        return CombinedSignature(self.name, message, total, tuple(chosen))
+        chosen = tuple(sorted(by_signer)[: self.threshold])
+        coeffs = self._lagrange_memo.get(chosen)
+        if coeffs is None:
+            indices = [i + 1 for i in chosen]  # Shamir x-coordinates are 1-based
+            coeffs = tuple(
+                self.group.lagrange_coefficient(signer_id + 1, indices) for signer_id in chosen
+            )
+            if len(self._lagrange_memo) >= self.CACHE_LIMIT:
+                self._lagrange_memo.clear()
+            self._lagrange_memo[chosen] = coeffs
+        # Interpolate in the exponent with plain modular arithmetic: one
+        # GroupElement is allocated for the result instead of two per share.
+        order = self.group.order
+        total = 0
+        for signer_id, coeff in zip(chosen, coeffs):
+            point = by_signer[signer_id].point
+            if point.order != order:
+                raise CryptoError("group elements from different groups")
+            total += point.value * coeff
+        combined = GroupElement(total % order, order)
+        return CombinedSignature(self.name, message, combined, chosen)
 
     def combine_filtering(self, shares: Iterable[SignatureShare]) -> CombinedSignature:
         """Combine after silently dropping invalid shares (robust combine)."""

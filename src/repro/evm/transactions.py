@@ -8,9 +8,10 @@ synthetic workload (like the real Ethereum trace) is dominated by transfers.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import field
 from typing import Optional
 
+from repro.compat import dataclass
 from repro.errors import InvalidTransaction
 from repro.evm.state import WorldState
 from repro.evm.vm import EVM, ExecutionResult, Message
@@ -20,7 +21,7 @@ TX_CALL = "call"
 TX_TRANSFER = "transfer"
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Transaction:
     """One ledger transaction.
 
@@ -35,6 +36,9 @@ class Transaction:
     data: bytes = b""
     code: bytes = b""
     gas_limit: int = 1_000_000
+    # Computed once at construction: the same Transaction object is sized by
+    # every replica that prices/journals it (hot path at large n).
+    size_bytes: int = field(init=False, compare=False, repr=False, default=0)
 
     def __post_init__(self):
         if self.kind not in (TX_CREATE, TX_CALL, TX_TRANSFER):
@@ -43,16 +47,7 @@ class Transaction:
             raise InvalidTransaction(f"{self.kind} transaction requires a destination")
         if self.kind == TX_CREATE and not self.code:
             raise InvalidTransaction("create transaction requires code")
-
-    @property
-    def size_bytes(self) -> int:
-        # Stashed on first use: the same Transaction object is sized by every
-        # replica that prices/journals it (hot path at large n).
-        size = self.__dict__.get("_size_memo")
-        if size is None:
-            size = 110 + len(self.data) + len(self.code)
-            object.__setattr__(self, "_size_memo", size)
-        return size
+        object.__setattr__(self, "size_bytes", 110 + len(self.data) + len(self.code))
 
     @staticmethod
     def create(sender: str, code: bytes, value: int = 0, gas_limit: int = 1_000_000) -> "Transaction":

@@ -1,0 +1,173 @@
+"""Profiling harness — cProfile over one sweep point, stable top-N table.
+
+The hot-path work (slotted messages, stash-at-construction sizes, memoized
+crypto, the tightened event loop) is steered by profiles of the scale sweep's
+most expensive points.  This harness makes those profiles reproducible: it
+runs one fixed-seed sweep point (default: the f=16 scale-sweep point, the
+perf-target row of ROADMAP item 3) under :mod:`cProfile` and prints a stable
+top-N-by-cumulative-time table — file paths normalized to be repo-relative,
+rows ordered by (cumulative time, name) — suitable for committing to
+``docs/benchmarks.md``::
+
+    PYTHONPATH=src python -m repro.experiments.profile --markdown
+
+``--dump FILE`` additionally writes the raw ``pstats`` data (the CI profile
+step uploads it as an artifact), and ``--scale small`` shrinks the point for
+smoke use.  Absolute times vary across machines; the *shape* of the table
+(which functions dominate) is what the committed snapshot documents.
+"""
+
+from __future__ import annotations
+
+import argparse
+import cProfile
+import pstats
+import sys
+from typing import Dict, List, Optional, Sequence
+
+from repro.experiments.harness import run_kv_point
+from repro.experiments.scale_sweep import sweep_scale
+
+#: Default point: the f=16 row of the medium scale sweep (``sbft-c0``), the
+#: largest deployment the committed perf targets are quoted on.
+DEFAULT_F = 16
+DEFAULT_PROTOCOL = "sbft-c0"
+
+#: Columns of one table row, in print order.
+ROW_COLUMNS = ("cumtime_s", "tottime_s", "calls", "function")
+
+
+def profile_point(
+    protocol: str = DEFAULT_PROTOCOL,
+    f: int = DEFAULT_F,
+    scale_name: str = "profile",
+    num_clients: int = 16,
+    kv_batch: int = 8,
+    topology: str = "continent",
+    seed: int = 0,
+) -> cProfile.Profile:
+    """Run one scale-sweep point under cProfile and return the profiler."""
+    scale = sweep_scale(scale_name, f)
+    profiler = cProfile.Profile()
+    profiler.enable()
+    run_kv_point(
+        protocol,
+        scale,
+        num_clients=num_clients,
+        kv_batch=kv_batch,
+        topology=topology,
+        seed=seed,
+        label=f"profile/{protocol}/f={f}",
+    )
+    profiler.disable()
+    return profiler
+
+
+def _normalize_location(filename: str, lineno: int, funcname: str) -> str:
+    """Stable, machine-independent label for one profiled function."""
+    if filename.startswith("~") or filename == "":
+        return f"<built-in> {funcname}"
+    # Strip everything up to the package root so the table does not leak
+    # absolute interpreter/checkout paths.
+    for marker in ("/repro/", "\\repro\\"):
+        index = filename.rfind(marker)
+        if index != -1:
+            filename = "repro/" + filename[index + len(marker):].replace("\\", "/")
+            break
+    else:
+        filename = filename.rsplit("/", 1)[-1]
+    return f"{filename}:{lineno}({funcname})"
+
+
+def top_cumulative(profiler: cProfile.Profile, top: int = 25) -> List[Dict]:
+    """Top-``top`` functions by cumulative time, as stable plain-data rows.
+
+    Rows are ordered by descending cumulative time with the normalized
+    function label as a deterministic tie-break, so two profiles of the same
+    code produce tables in the same order even when timings jitter.
+    """
+    stats = pstats.Stats(profiler)
+    rows = []
+    for (filename, lineno, funcname), (_cc, ncalls, tottime, cumtime, _callers) in stats.stats.items():
+        rows.append(
+            {
+                "cumtime_s": round(cumtime, 3),
+                "tottime_s": round(tottime, 3),
+                "calls": ncalls,
+                "function": _normalize_location(filename, lineno, funcname),
+            }
+        )
+    rows.sort(key=lambda row: (-row["cumtime_s"], row["function"]))
+    return rows[: max(1, top)]
+
+
+def format_profile_table(rows: Sequence[Dict], markdown: bool = False) -> str:
+    """Render profile rows as an aligned text or markdown table."""
+    header = list(ROW_COLUMNS)
+    cells = [[str(row[column]) for column in header] for row in rows]
+    widths = [
+        max(len(header[i]), max((len(line[i]) for line in cells), default=0))
+        for i in range(len(header))
+    ]
+    if markdown:
+        lines = [
+            "| " + " | ".join(header[i].ljust(widths[i]) for i in range(len(header))) + " |",
+            "|" + "|".join("-" * (widths[i] + 2) for i in range(len(header))) + "|",
+        ]
+        for line in cells:
+            lines.append("| " + " | ".join(line[i].ljust(widths[i]) for i in range(len(header))) + " |")
+    else:
+        lines = [
+            "  ".join(header[i].ljust(widths[i]) for i in range(len(header))),
+            "  ".join("-" * widths[i] for i in range(len(header))),
+        ]
+        for line in cells:
+            lines.append("  ".join(line[i].ljust(widths[i]) for i in range(len(header))))
+    return "\n".join(lines)
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        description=__doc__.splitlines()[0],
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+        epilog=(
+            "example:\n"
+            "  PYTHONPATH=src python -m repro.experiments.profile --markdown\n"
+            "\n"
+            "The default point is the f=16 scale-sweep row; use --f 1 (or the\n"
+            "CI profile step's settings) for a quick smoke profile."
+        ),
+    )
+    parser.add_argument("--protocol", default=DEFAULT_PROTOCOL)
+    parser.add_argument("--f", type=int, default=DEFAULT_F, help="replication factor (n = 3f+1)")
+    parser.add_argument("--clients", type=int, default=16)
+    parser.add_argument("--kv-batch", type=int, default=8)
+    parser.add_argument("--topology", default="continent")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--top", type=int, default=25, help="rows in the table (default 25)")
+    parser.add_argument(
+        "--markdown", action="store_true", help="emit a markdown table (for docs/benchmarks.md)"
+    )
+    parser.add_argument(
+        "--dump", default=None, metavar="FILE", help="also write raw pstats data to FILE"
+    )
+    args = parser.parse_args(argv)
+
+    profiler = profile_point(
+        protocol=args.protocol,
+        f=args.f,
+        num_clients=args.clients,
+        kv_batch=args.kv_batch,
+        topology=args.topology,
+        seed=args.seed,
+    )
+    if args.dump:
+        profiler.dump_stats(args.dump)
+        print(f"wrote {args.dump}", file=sys.stderr)
+    rows = top_cumulative(profiler, top=args.top)
+    print(format_profile_table(rows, markdown=args.markdown))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

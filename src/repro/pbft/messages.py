@@ -5,23 +5,29 @@ module; only the all-to-all prepare/commit/checkpoint votes and the (simplified)
 view-change messages are PBFT-specific.  Every vote carries an RSA-style
 signature (256 bytes), matching the signed-message configuration the paper's
 baseline uses.
+
+Like :mod:`repro.core.messages`, every class here is a slotted frozen
+dataclass whose ``size_bytes`` is an ``int`` fixed at construction (a class
+constant for the fixed-size votes), never a recomputed property.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import field
 from typing import Optional, Tuple
 
+from repro.compat import dataclass
 from repro.crypto.signatures import Signature
 
 _HEADER = 24
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class PbftPrepare:
     """⟨"prepare", s, v, d, i⟩ signed by replica ``i``, broadcast to all."""
 
     msg_type = "pbft-prepare"
+    size_bytes = _HEADER + 32 + 256
 
     sequence: int
     view: int
@@ -29,16 +35,13 @@ class PbftPrepare:
     replica_id: int
     signature: Signature
 
-    @property
-    def size_bytes(self) -> int:
-        return _HEADER + 32 + 256
 
-
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class PbftCommit:
     """⟨"commit", s, v, d, i⟩ signed by replica ``i``, broadcast to all."""
 
     msg_type = "pbft-commit"
+    size_bytes = _HEADER + 32 + 256
 
     sequence: int
     view: int
@@ -46,28 +49,21 @@ class PbftCommit:
     replica_id: int
     signature: Signature
 
-    @property
-    def size_bytes(self) -> int:
-        return _HEADER + 32 + 256
 
-
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class PbftCheckpoint:
     """⟨"checkpoint", s, d, i⟩ — periodic checkpoint vote."""
 
     msg_type = "pbft-checkpoint"
+    size_bytes = _HEADER + 32 + 256
 
     sequence: int
     state_digest: str
     replica_id: int
     signature: Signature
 
-    @property
-    def size_bytes(self) -> int:
-        return _HEADER + 32 + 256
 
-
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class PbftViewChange:
     """Simplified PBFT view-change: the replica's prepared slots."""
 
@@ -78,13 +74,13 @@ class PbftViewChange:
     last_stable: int
     prepared: Tuple[Tuple[int, int, str, Tuple], ...]  # (sequence, view, digest, requests)
     signature: Optional[Signature] = None
+    size_bytes: int = field(init=False, compare=False, repr=False, default=0)
 
-    @property
-    def size_bytes(self) -> int:
-        return _HEADER + 256 + 96 * max(1, len(self.prepared))
+    def __post_init__(self):
+        object.__setattr__(self, "size_bytes", _HEADER + 256 + 96 * max(1, len(self.prepared)))
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class PbftNewView:
     """Simplified PBFT new-view carrying the view-change set."""
 
@@ -92,7 +88,9 @@ class PbftNewView:
 
     view: int
     view_changes: Tuple[PbftViewChange, ...]
+    size_bytes: int = field(init=False, compare=False, repr=False, default=0)
 
-    @property
-    def size_bytes(self) -> int:
-        return _HEADER + sum(vc.size_bytes for vc in self.view_changes)
+    def __post_init__(self):
+        object.__setattr__(
+            self, "size_bytes", _HEADER + sum(vc.size_bytes for vc in self.view_changes)
+        )

@@ -31,6 +31,7 @@ from repro.core.messages import (
 )
 from repro.core.reply_cache import ClientReplyTracker
 from repro.core.replica import block_execution_plan
+from repro.core.stats import PBFTReplicaStats
 from repro.crypto.costs import CryptoCosts, DEFAULT_COSTS
 from repro.crypto.hashing import block_digest, sha256_hex
 from repro.crypto.signatures import SigningKey, VerifyKey
@@ -136,13 +137,7 @@ class PBFTReplica(Process):
         self.byzantine_mode: Optional[str] = None
         # Cached broadcast destination list (fixed peer set; see SBFTReplica).
         self._peers_all: Tuple[int, ...] = tuple(range(config.n))
-        self.stats = {
-            "blocks_proposed": 0,
-            "blocks_committed": 0,
-            "blocks_executed": 0,
-            "view_changes": 0,
-            "state_transfers": 0,
-        }
+        self.stats = PBFTReplicaStats()
 
         # Type-keyed dispatch and verification-cost tables (hot path); message
         # classes are final, so exact-type lookup matches the old isinstance chain.
@@ -316,7 +311,7 @@ class PBFTReplica(Process):
         digest = block_digest(sequence, self.view, [r.request_id for r in batch])
         self.charge_cpu(self.costs.hash_op + self.costs.rsa_sign)
         signature = self.signing_key.sign(("pre-prepare", sequence, self.view, digest))
-        self.stats["blocks_proposed"] += 1
+        self.stats.blocks_proposed += 1
         self._broadcast(
             PrePrepare(
                 sequence=sequence, view=self.view, requests=batch, digest=digest, primary_signature=signature
@@ -413,7 +408,7 @@ class PBFTReplica(Process):
         matching = sum(1 for digest in slot.commits.values() if digest == slot.digest)
         if matching >= self.quorum and slot.pre_prepare is not None:
             slot.committed = True
-            self.stats["blocks_committed"] += 1
+            self.stats.blocks_committed += 1
             self._try_execute()
 
     # ------------------------------------------------------------------
@@ -439,7 +434,7 @@ class PBFTReplica(Process):
         slot.execution_results = self.service.execute_block(sequence, operations)
         slot.executed = True
         self.last_executed = sequence
-        self.stats["blocks_executed"] += 1
+        self.stats.blocks_executed += 1
         slot.state_digest = (
             self.service.digest() if hasattr(self.service, "digest") else sha256_hex("state", sequence)
         )
@@ -556,7 +551,7 @@ class PBFTReplica(Process):
             return
         self._state_transfer_seq = self.last_executed
         self._state_transfer_at = self.sim.now
-        self.stats["state_transfers"] += 1
+        self.stats.state_transfers += 1
         self._send(target, StateTransferRequest(replica_id=self.node_id, from_sequence=self.last_executed))
 
     def _on_state_transfer_request(self, message: StateTransferRequest, src: int) -> None:
@@ -609,7 +604,7 @@ class PBFTReplica(Process):
         if new_view <= self.view or new_view in self._view_change_sent_for:
             return
         self._view_change_sent_for.add(new_view)
-        self.stats["view_changes"] += 1
+        self.stats.view_changes += 1
         prepared = []
         for sequence, slot in sorted(self._slots.items()):
             if slot.commit_sent and slot.pre_prepare is not None and slot.digest is not None:

@@ -226,10 +226,28 @@ class Cluster:
         self._build(workload, sanitize=sanitize)
         assert self.sim is not None and self.network is not None
 
-        def all_clients_done() -> bool:
-            return all(client.done for client in self.clients.values())
+        # O(1) completion check: each not-yet-done client fires ``on_done``
+        # exactly once (inside the event that completes its last request), and
+        # the last one stops the simulator.  ``Simulator.run`` honours a stop
+        # request at the same point it would have evaluated a ``stop_when``
+        # predicate — after the event's callback and trace hook — so runs are
+        # event-for-event identical to the old every-event all-clients scan.
+        sim = self.sim
+        pending_clients = sum(1 for client in self.clients.values() if not client.done)
+        if pending_clients == 0:
+            sim.run(until=max_sim_time, max_events=max_events, stop_when=lambda: True)
+        else:
+            remaining = [pending_clients]
 
-        self.sim.run(until=max_sim_time, max_events=max_events, stop_when=all_clients_done)
+            def _one_client_done() -> None:
+                remaining[0] -= 1
+                if remaining[0] == 0:
+                    sim.stop()
+
+            for client in self.clients.values():
+                if not client.done:
+                    client.on_done = _one_client_done
+            sim.run(until=max_sim_time, max_events=max_events)
 
         duration = self.recorder.last_completion or self.sim.now or 1.0
         run = self.recorder.summary(duration=duration, label=label or self.spec.name)

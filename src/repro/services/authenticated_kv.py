@@ -29,9 +29,10 @@ execute-ack needs, since the π certificate is over ``d_s``.
 from __future__ import annotations
 
 import copy
-from dataclasses import dataclass
-from typing import Any, Dict, List, Optional, Sequence
+from dataclasses import field
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
+from repro.compat import dataclass
 from repro.crypto.hashing import memo_key, sha256_hex
 from repro.crypto.merkle import MerkleProof, MerkleTree
 from repro.errors import InvalidProof
@@ -46,7 +47,7 @@ from repro.services.kvstore import KVOperation, KVStore
 GENESIS_DIGEST = sha256_hex("authkv-genesis")
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class JournalEntry:
     """What the state commits to for one executed operation."""
 
@@ -56,17 +57,17 @@ class JournalEntry:
     result_digest: str
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class KVProof:
     """Proof bundle: entry-in-block Merkle path plus the previous chain digest."""
 
     entry: JournalEntry
     entry_proof: MerkleProof
     prev_digest: str
+    size_bytes: int = field(init=False, compare=False, repr=False, default=0)
 
-    @property
-    def size_bytes(self) -> int:
-        return 96 + self.entry_proof.size_bytes
+    def __post_init__(self):
+        object.__setattr__(self, "size_bytes", 96 + self.entry_proof.size_bytes)
 
 
 #: Every replica executes the same decision blocks over the same ``Operation``
@@ -116,7 +117,7 @@ def _result_digest(result: OperationResult) -> str:
     # value-equal copies with hashable values.  Unhashable values (the
     # ledger's dict results) fall through to the stash-only path, which is
     # exactly where instance sharing pays off.
-    digest = result.__dict__.get("_authkv_rdigest")
+    digest = result._authkv_rdigest
     if digest is not None:
         return digest
     key = memo_key(result.value)
@@ -137,6 +138,28 @@ def _result_digest(result: OperationResult) -> str:
 
 def _entry_leaf(entry: JournalEntry) -> tuple:
     return (entry.sequence, entry.position, entry.operation_digest, entry.result_digest)
+
+
+#: Journal records (entries + Merkle tree) are pure functions of the leaf
+#: tuples ``(s, l, H(o), H(val))``, and every replica of a deployment journals
+#: the *same* blocks — so entry/tree construction (and the tree's hashing,
+#: cached inside the shared ``MerkleTree``) runs once per cluster instead of
+#: once per replica.  The trees stored here are never mutated after creation
+#: (only ``root``/``prove`` are called).  Cleared wholesale at the limit.
+_JOURNAL_MEMO_LIMIT = 1 << 12
+_journal_memo: Dict[tuple, tuple] = {}
+
+
+def _journal_record(leaves: Tuple[tuple, ...]) -> tuple:
+    """Shared (entries, tree) record for one journaled block's leaf tuples."""
+    record = _journal_memo.get(leaves)
+    if record is None:
+        entries = tuple(JournalEntry(*leaf) for leaf in leaves)
+        record = (entries, MerkleTree(leaves))
+        if len(_journal_memo) >= _JOURNAL_MEMO_LIMIT:
+            _journal_memo.clear()
+        _journal_memo[leaves] = record
+    return record
 
 
 def chain_step(prev_digest: str, sequence: int, journal_root: str) -> str:
@@ -186,17 +209,12 @@ class AuthenticatedKVStore(AuthenticatedService):
         Used directly by services (e.g. the ledger) that execute operations
         through their own engine but store state in this authenticated store.
         """
-        entries = [
-            JournalEntry(
-                sequence=sequence,
-                position=position,
-                operation_digest=_operation_digest(op),
-                result_digest=_result_digest(result),
-            )
+        leaves = tuple(
+            (sequence, position, _operation_digest(op), _result_digest(result))
             for position, (op, result) in enumerate(zip(operations, results))
-        ]
-        tree = MerkleTree([_entry_leaf(entry) for entry in entries])
-        self._journal_entries[sequence] = entries
+        )
+        entries, tree = _journal_record(leaves)
+        self._journal_entries[sequence] = list(entries)
         self._journal_results[sequence] = list(results)
         self._journal_trees[sequence] = tree
         self._prev_digest[sequence] = self._chain_digest
@@ -228,9 +246,9 @@ class AuthenticatedKVStore(AuthenticatedService):
         self._block_order = []
         for block in snapshot["blocks"]:
             sequence = block["sequence"]
-            entries = list(block["entries"])
-            tree = MerkleTree([_entry_leaf(entry) for entry in entries])
-            self._journal_entries[sequence] = entries
+            leaves = tuple(_entry_leaf(entry) for entry in block["entries"])
+            entries, tree = _journal_record(leaves)
+            self._journal_entries[sequence] = list(entries)
             self._journal_results[sequence] = list(block["results"])
             self._journal_trees[sequence] = tree
             self._prev_digest[sequence] = self._chain_digest

@@ -14,11 +14,13 @@ parameterised by:
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import field
 from typing import Any, List, Optional, Sequence
 
+from repro.compat import dataclass
 
-@dataclass(frozen=True)
+
+@dataclass(frozen=True, slots=True)
 class Operation:
     """A client operation submitted to the replicated service.
 
@@ -26,6 +28,11 @@ class Operation:
     replication layer treats operations as opaque apart from ``client_id`` /
     ``timestamp`` (used for deduplication and reply routing) and
     ``size_bytes`` (used by the network model).
+
+    The same Operation object is sized, journaled and priced by every replica
+    (hot path at large n), so all per-instance derived values live in slots
+    computed once: ``size_bytes`` at construction, the service-layer digest
+    and cost stashes on first use (via ``object.__setattr__``).
     """
 
     kind: str
@@ -33,35 +40,34 @@ class Operation:
     client_id: int = -1
     timestamp: int = 0
     read_only: bool = False
+    size_bytes: int = field(init=False, compare=False, repr=False, default=0)
+    # First-use stashes owned by repro.services.authenticated_kv / ledger.
+    _authkv_digest: Optional[str] = field(init=False, compare=False, repr=False, default=None)
+    _ledger_cost: Any = field(init=False, compare=False, repr=False, default=None)
 
-    @property
-    def size_bytes(self) -> int:
-        # Stashed on first use: the same Operation object is sized by every
-        # replica that journals/persists it (hot path at large n).
-        size = self.__dict__.get("_size_memo")
-        if size is None:
-            payload = self.payload
-            if isinstance(payload, (bytes, str)):
-                base = len(payload)
-            elif isinstance(payload, (list, tuple, dict)):
-                base = 32 * max(1, len(payload))
-            else:
-                base = 32
-            size = 64 + base
-            object.__setattr__(self, "_size_memo", size)
-        return size
+    def __post_init__(self):
+        payload = self.payload
+        if isinstance(payload, (bytes, str)):
+            base = len(payload)
+        elif isinstance(payload, (list, tuple, dict)):
+            base = 32 * max(1, len(payload))
+        else:
+            base = 32
+        object.__setattr__(self, "size_bytes", 64 + base)
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class OperationResult:
     """The value returned by executing one operation."""
 
     value: Any = None
     ok: bool = True
     error: Optional[str] = None
+    # First-use digest stash owned by repro.services.authenticated_kv.
+    _authkv_rdigest: Optional[str] = field(init=False, compare=False, repr=False, default=None)
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class ExecutionProof:
     """Proof that an operation executed at a given position of a block.
 
@@ -74,11 +80,11 @@ class ExecutionProof:
     position: int
     digest: str
     proof: Any
+    size_bytes: int = field(init=False, compare=False, repr=False, default=0)
 
-    @property
-    def size_bytes(self) -> int:
+    def __post_init__(self):
         inner = getattr(self.proof, "size_bytes", 64)
-        return 48 + int(inner)
+        object.__setattr__(self, "size_bytes", 48 + int(inner))
 
 
 class ReplicatedService:

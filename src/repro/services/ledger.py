@@ -250,7 +250,7 @@ class LedgerService(AuthenticatedService):
         # the cost model; every replica of a cluster (same cost model) charges
         # it for the same shared Operation object, so it is stashed on the
         # instance, guarded by the cost-model identity.
-        memo = operation.__dict__.get("_ledger_cost")
+        memo = operation._ledger_cost
         if memo is not None and memo[0] is self._costs:
             return memo[1]
         transaction = operation.payload

@@ -137,20 +137,17 @@ class Simulator:
             raise SimulationError("schedule_many: delays and args_list length mismatch")
         if not delays:
             return []
+        lowest = min(delays)
+        if lowest < 0:
+            raise SimulationError(f"cannot schedule an event in the past (delay={lowest})")
         now = self.now
         seq = self._seq
-        events: List[Event] = []
-        entries = []
-        for delay, args in zip(delays, args_list):
-            if delay < 0:
-                raise SimulationError(
-                    f"cannot schedule an event in the past (delay={delay})"
-                )
-            event = Event(now + delay, seq, callback, args, owner=self)
-            events.append(event)
-            entries.append((event.time, seq, event))
-            seq += 1
-        self._seq = seq
+        events: List[Event] = [
+            Event(now + delay, seq + offset, callback, args, self)
+            for offset, (delay, args) in enumerate(zip(delays, args_list))
+        ]
+        self._seq = seq + len(events)
+        entries = [(event.time, event.seq, event) for event in events]
         heap = self._heap
         if len(entries) * 4 >= len(heap):
             heap.extend(entries)
@@ -182,9 +179,15 @@ class Simulator:
             self._compact()
 
     def _compact(self) -> None:
-        """Drop cancelled entries and re-heapify the live ones."""
-        self._heap = [entry for entry in self._heap if not entry[2].cancelled]
-        heapq.heapify(self._heap)
+        """Drop cancelled entries and re-heapify the live ones.
+
+        Compaction rewrites the heap *in place*: :meth:`run` holds a local
+        binding to the heap list across events, and callbacks can trigger a
+        compaction mid-run (a cancel storm inside an event handler).
+        """
+        heap = self._heap
+        heap[:] = [entry for entry in heap if not entry[2].cancelled]
+        heapq.heapify(heap)
         self._cancelled = 0
         self._compactions += 1
 
@@ -217,28 +220,35 @@ class Simulator:
         """
         processed = 0
         self._stopped = False
-        while self._heap:
+        # Local bindings for the per-event loop.  ``heap`` stays valid across
+        # callbacks because :meth:`_compact` rewrites the list in place, and
+        # the lifetime total is folded in once at the end (nothing observes
+        # ``events_processed`` mid-run).
+        heap = self._heap
+        pop = heapq.heappop
+        while heap:
             if max_events is not None and processed >= max_events:
                 break
-            event = self._heap[0][2]
+            entry = heap[0]
+            event = entry[2]
             if event.cancelled:
-                heapq.heappop(self._heap)
+                pop(heap)
                 event.owner = None
                 self._cancelled -= 1
                 continue
-            if until is not None and event.time > until:
+            time = entry[0]
+            if until is not None and time > until:
                 self.now = until
                 break
-            heapq.heappop(self._heap)
+            pop(heap)
             # The event has left the heap: a late cancel() must not count it
             # toward heap garbage (it would corrupt live_events / compaction).
             event.owner = None
-            self.now = event.time
+            self.now = time
             event.callback(*event.args)
             if self._trace is not None:
                 self._trace(event)
             processed += 1
-            self._events_processed += 1
             if self._stopped:
                 break
             if stop_when is not None and stop_when():
@@ -246,6 +256,7 @@ class Simulator:
         else:
             if until is not None and self.now < until:
                 self.now = until
+        self._events_processed += processed
         return processed
 
     @property

@@ -11,22 +11,25 @@ from __future__ import annotations
 
 import random
 from collections import Counter
-from dataclasses import dataclass, field
+from dataclasses import field
 from typing import Any, Callable, Iterable, Optional
 
+from repro.compat import dataclass
 from repro.errors import NetworkError
 from repro.sim.events import Simulator
 from repro.sim.latency import LatencyModel, UniformLatency
 from repro.sim.process import Process
 
 
-@dataclass
+@dataclass(slots=True)
 class NetworkStats:
     """Aggregate traffic counters, used by the linearity benchmarks.
 
     The per-type tables are :class:`collections.Counter` (a dict subclass),
     so hot-path accounting is a single C-level ``+=`` per message instead of
-    a ``dict.get`` read-modify-write.
+    a ``dict.get`` read-modify-write.  The counter set is fixed, so the
+    instance is slotted: every ``record`` touches four attributes, and slot
+    loads skip the per-instance dict entirely.
     """
 
     messages_sent: int = 0
@@ -55,23 +58,16 @@ def _message_type(message: Any) -> str:
 
 
 def _message_size(message: Any) -> int:
-    # Protocol messages are immutable (frozen dataclasses), but their
-    # ``size_bytes`` properties recompute nested operation sums on every
-    # access; the computed size is stashed on the instance so each message
-    # object is sized once no matter how many times it is (re)sent.
-    cached = getattr(message, "_net_size_memo", None)
-    if cached is not None:
-        return cached
+    # Protocol messages carry ``size_bytes`` as a plain ``int`` fixed at
+    # construction (the slotted-messages invariant), so sizing is one
+    # attribute load.  Foreign payloads (tests, ad-hoc probes) may still
+    # expose a callable or nothing at all; those fall through.
     size = getattr(message, "size_bytes", None)
+    if isinstance(size, int):
+        return size
     if callable(size):
-        size = int(size())
-    elif not isinstance(size, int):
-        size = 256
-    try:
-        object.__setattr__(message, "_net_size_memo", size)
-    except (AttributeError, TypeError):  # slotted or primitive payloads
-        pass
-    return size
+        return int(size())
+    return 256
 
 
 class Network:

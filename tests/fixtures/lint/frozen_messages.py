@@ -4,19 +4,19 @@ from dataclasses import dataclass, field
 from typing import List
 
 
-@dataclass
+@dataclass(slots=True)
 class ThawedMessage:  # PLANT: frozen-messages
     msg_type = "thawed"
     view: int = 0
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class LeakyMessage:
     msg_type = "leaky"
     payload: List[int] = field(default_factory=list)  # PLANT: frozen-messages
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class GoodMessage:
     msg_type = "good"
     view: int = 0

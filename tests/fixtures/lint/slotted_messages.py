@@ -1,0 +1,26 @@
+"""Planted slotted-messages violations (linter fixture; never imported)."""
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class UnslottedMessage:  # PLANT: slotted-messages
+    msg_type = "unslotted"
+    view: int = 0
+
+
+@dataclass(frozen=True, slots=True)
+class RecomputingMessage:
+    msg_type = "recomputing"
+    view: int = 0
+
+    @property
+    def size_bytes(self):  # PLANT: slotted-messages
+        return 24 + self.view
+
+
+@dataclass(frozen=True, slots=True)
+class GoodSlottedMessage:
+    msg_type = "good-slotted"
+    view: int = 0
+    size_bytes: int = field(init=False, compare=False, repr=False, default=24)

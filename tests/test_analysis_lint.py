@@ -34,7 +34,13 @@ def planted_violations(path: Path):
 
 @pytest.mark.parametrize(
     "fixture",
-    ["wall_clock.py", "frozen_messages.py", "ordered_iteration.py", "memo_purity.py"],
+    [
+        "wall_clock.py",
+        "frozen_messages.py",
+        "slotted_messages.py",
+        "ordered_iteration.py",
+        "memo_purity.py",
+    ],
 )
 def test_planted_violations_reported_at_exact_lines(fixture):
     path = FIXTURES / fixture

@@ -199,3 +199,49 @@ def test_format_table_renders_rows():
     assert len(lines) == 4
     assert "a" in lines[0] and "b" in lines[0]
     assert format_table([]) == "(no rows)"
+
+
+def test_profile_point_and_table_roundtrip():
+    from repro.experiments.profile import (
+        ROW_COLUMNS,
+        format_profile_table,
+        profile_point,
+        top_cumulative,
+    )
+
+    profiler = profile_point(protocol="sbft-c0", f=1, num_clients=2, kv_batch=2)
+    rows = top_cumulative(profiler, top=10)
+    assert 0 < len(rows) <= 10
+    cumtimes = [row["cumtime_s"] for row in rows]
+    assert cumtimes == sorted(cumtimes, reverse=True)
+    for row in rows:
+        assert set(row) == set(ROW_COLUMNS)
+        # Locations are normalized to be machine-independent.
+        assert not row["function"].startswith("/")
+    # The run itself should dominate the cumulative table.
+    assert any("run_kv_point" in row["function"] for row in rows)
+
+    text = format_profile_table(rows)
+    lines = text.splitlines()
+    assert len(lines) == 2 + len(rows)
+    assert lines[0].split() == list(ROW_COLUMNS)
+
+    markdown = format_profile_table(rows, markdown=True)
+    md_lines = markdown.splitlines()
+    assert len(md_lines) == 2 + len(rows)
+    assert all(line.startswith("|") and line.endswith("|") for line in md_lines)
+
+
+def test_profile_location_normalization():
+    from repro.experiments.profile import _normalize_location
+
+    assert (
+        _normalize_location("/abs/path/src/repro/sim/events.py", 42, "run")
+        == "repro/sim/events.py:42(run)"
+    )
+    assert _normalize_location("~", 0, "heappush") == "<built-in> heappush"
+    assert (
+        _normalize_location("C:\\ci\\src\\repro\\sim\\events.py", 7, "step")
+        == "repro/sim/events.py:7(step)"
+    )
+    assert _normalize_location("/somewhere/else/mod.py", 3, "f") == "mod.py:3(f)"

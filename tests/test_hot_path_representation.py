@@ -1,0 +1,165 @@
+"""Hot-path representation invariants (ROADMAP item 3 stage (a)).
+
+Message instances are slotted frozen dataclasses whose ``size_bytes`` (and
+other hot derived keys) are computed exactly once at construction and then
+read as plain attributes.  These tests pin that representation:
+
+* a microbench-shaped count proves ``size_bytes`` is computed once per
+  instance, no matter how many times the network model reads it;
+* on Python 3.10+ message instances carry no ``__dict__`` (the
+  :mod:`repro.compat` shim drops ``slots=True`` on 3.9);
+* fixed seeds reproduce identical decision-hash chains and stats across two
+  independently built clusters (the byte-identity invariant the perf work
+  must preserve).
+"""
+
+import sys
+
+import pytest
+
+from repro.core import messages as core_messages
+from repro.core.messages import ClientRequest, PrePrepare, SignShare
+from repro.core.stats import ClientStats, SBFTReplicaStats
+from repro.pbft import messages as pbft_messages
+from repro.protocols.cluster import build_cluster
+from repro.sim.network import _message_size
+from repro.workloads.kv_workload import KVWorkload
+
+HAS_SLOTS = sys.version_info >= (3, 10)
+
+
+class CountingOperation:
+    """Operation stand-in whose ``size_bytes`` reads are counted."""
+
+    def __init__(self, size=64):
+        self._size = size
+        self.reads = 0
+
+    @property
+    def size_bytes(self):
+        self.reads += 1
+        return self._size
+
+
+# ---------------------------------------------------------------------------
+# size_bytes: computed exactly once per instance
+# ---------------------------------------------------------------------------
+
+
+def test_request_size_computed_exactly_once():
+    ops = tuple(CountingOperation() for _ in range(4))
+    request = ClientRequest(client_id=1, timestamp=7, operations=ops)
+    assert all(op.reads == 1 for op in ops)
+
+    # The network model (and anything else) may read the size arbitrarily
+    # often without re-touching the operations.
+    for _ in range(100):
+        assert _message_size(request) == request.size_bytes
+    assert all(op.reads == 1 for op in ops)
+    assert isinstance(request.size_bytes, int)
+
+
+def test_preprepare_size_does_not_retouch_nested_requests():
+    ops = tuple(CountingOperation() for _ in range(2))
+    request = ClientRequest(client_id=0, timestamp=1, operations=ops)
+    block = PrePrepare(sequence=1, view=0, requests=(request,) * 8, digest="d")
+    # The 8 references to the same request read its stashed int, not the ops.
+    assert all(op.reads == 1 for op in ops)
+    for _ in range(50):
+        assert _message_size(block) == block.size_bytes
+    assert all(op.reads == 1 for op in ops)
+
+
+def test_size_bytes_is_data_not_property():
+    """No message class may recompute size_bytes per call (lint-enforced too)."""
+    for module in (core_messages, pbft_messages):
+        for name in dir(module):
+            cls = getattr(module, name)
+            if not isinstance(cls, type) or not hasattr(cls, "msg_type"):
+                continue
+            descriptor = None
+            for klass in cls.__mro__:
+                if "size_bytes" in vars(klass):
+                    descriptor = vars(klass)["size_bytes"]
+                    break
+            assert not isinstance(descriptor, property), (
+                f"{module.__name__}.{name}.size_bytes is a property"
+            )
+
+
+def test_request_id_stashed_at_construction():
+    request = ClientRequest(client_id=3, timestamp=11, operations=())
+    assert request.request_id == (3, 11)
+    if HAS_SLOTS:
+        assert "request_id" in ClientRequest.__slots__
+
+
+# ---------------------------------------------------------------------------
+# Slotted layout
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.skipif(not HAS_SLOTS, reason="compat shim drops slots=True on 3.9")
+def test_messages_carry_no_dict():
+    share = SignShare(sequence=1, view=0, replica_id=2, digest="h")
+    request = ClientRequest(client_id=0, timestamp=1, operations=())
+    for message in (share, request):
+        assert not hasattr(message, "__dict__")
+        with pytest.raises(AttributeError):
+            object.__getattribute__(message, "__dict__")
+
+
+@pytest.mark.skipif(not HAS_SLOTS, reason="compat shim drops slots=True on 3.9")
+def test_every_message_class_declares_slots():
+    for module in (core_messages, pbft_messages):
+        for name in dir(module):
+            cls = getattr(module, name)
+            if not isinstance(cls, type) or not hasattr(cls, "msg_type"):
+                continue
+            if cls.__module__ != module.__name__:
+                continue  # re-exported (e.g. pbft reuses core messages)
+            assert "__slots__" in vars(cls), f"{module.__name__}.{name} is unslotted"
+
+
+def test_stats_counters_behave_like_dicts():
+    stats = SBFTReplicaStats()
+    stats.blocks_committed += 3
+    assert stats["blocks_committed"] == 3
+    assert dict(stats)["blocks_committed"] == 3
+    assert set(stats.keys()) == set(dict(stats))
+    with pytest.raises(KeyError):
+        stats["no_such_counter"]
+    client = ClientStats()
+    assert dict(client) == {
+        "acks_accepted": 0,
+        "acks_rejected": 0,
+        "fallbacks": 0,
+        "retries": 0,
+    }
+
+
+# ---------------------------------------------------------------------------
+# Fixed-seed identity
+# ---------------------------------------------------------------------------
+
+
+def _run_point(protocol, seed=5):
+    cluster = build_cluster(protocol, f=1, num_clients=3, topology="continent", seed=seed)
+    workload = KVWorkload(requests_per_client=4, batch_size=2)
+    return cluster.run(workload, max_sim_time=120.0, sanitize=True)
+
+
+@pytest.mark.parametrize("protocol", ["sbft-c0", "pbft"])
+def test_fixed_seed_runs_are_byte_identical(protocol):
+    first = _run_point(protocol)
+    second = _run_point(protocol)
+    assert first.decision_hash == second.decision_hash
+    assert first.decision_trace == second.decision_trace
+    assert first.replica_stats == second.replica_stats
+    assert first.client_stats == second.client_stats
+    assert first.events_processed == second.events_processed
+    assert first.network_messages == second.network_messages
+    assert first.network_bytes == second.network_bytes
+    assert first.sim_time == second.sim_time
+    assert first.completed_operations == second.completed_operations
+    assert first.completed_operations > 0
