@@ -16,6 +16,7 @@ import pytest
 from conftest import attach_rows
 from repro.crypto.bls import bls_aggregate, bls_keygen, bls_sign, bls_verify
 from repro.crypto.costs import DEFAULT_COSTS
+from repro.crypto.hashing import sha256_hex, sha256_int
 from repro.crypto.merkle import MerkleTree
 from repro.crypto.threshold import ThresholdDealer
 from repro.evm.contracts import encode_call, token_contract
@@ -62,6 +63,30 @@ def test_threshold_combine(benchmark, tau_scheme):
     shares = [tau_scheme.sign_share(i, "digest") for i in range(TAU_THRESHOLD)]
     combined = benchmark(tau_scheme.combine, shares)
     assert tau_scheme.verify(combined)
+
+
+# Canonical-hash per-type fast paths (the streaming flattener dispatches on
+# exact type; every protocol digest funnels through these encoders).
+_HASH_PAYLOADS = {
+    "str": ["chain-digest-tag", "previous-digest-hex" * 2, "merkle-root-hex"],
+    "int": list(range(-8, 56)),
+    "bytes": [b"\x00" * 32, b"payload" * 8],
+    "mixed-scalars": ["tag", 17, -4, 3.25, True, False, None],
+    "nested-seq": [["op", i, ("k", i)] for i in range(16)],
+    "dict": [{"key": f"k{i}", "value": i, "meta": {"seq": i}} for i in range(8)],
+}
+
+
+@pytest.mark.parametrize("payload_type", sorted(_HASH_PAYLOADS))
+def test_sha256_hex_per_type(benchmark, payload_type):
+    payload = _HASH_PAYLOADS[payload_type]
+    digest = benchmark(sha256_hex, *payload)
+    assert digest == sha256_hex(*payload)
+
+
+def test_sha256_int_chain_digest_shape(benchmark):
+    value = benchmark(sha256_int, "authkv-chain", "prev" * 16, 7, "root" * 16)
+    assert value == int(sha256_hex("authkv-chain", "prev" * 16, 7, "root" * 16), 16)
 
 
 def test_merkle_proof_generation(benchmark):

@@ -9,7 +9,7 @@ from __future__ import annotations
 
 import pstats
 
-from repro.experiments.profile import ROW_COLUMNS, main as profile_main
+from repro.experiments.profile import COMPARE_COLUMNS, ROW_COLUMNS, main as profile_main
 
 
 def test_profile_cli_runs_and_table_parses(tmp_path, capsys):
@@ -31,6 +31,26 @@ def test_profile_cli_runs_and_table_parses(tmp_path, capsys):
         float(cumtime), float(tottime)
         # ncalls may be "total/primitive" for recursive functions.
         assert calls.replace("/", "").isdigit()
+
+
+def test_profile_cli_compare_delta_table(tmp_path, capsys):
+    """``--compare OLD.pstats`` prints the per-function cumtime delta table."""
+    point = ["--f", "1", "--clients", "2", "--kv-batch", "2"]
+    dump = tmp_path / "old.pstats"
+    assert profile_main(point + ["--top", "5", "--dump", str(dump)]) == 0
+    capsys.readouterr()
+
+    assert profile_main(point + ["--top", "6", "--compare", str(dump)]) == 0
+    lines = capsys.readouterr().out.strip().splitlines()
+    assert lines[0].split() == list(COMPARE_COLUMNS)
+    assert 1 <= len(lines) - 2 <= 6
+    for line in lines[2:]:
+        old_s, new_s, delta_s = line.split()[:3]
+        # Delta is exactly the (rounded) difference of the two columns.
+        assert abs(float(delta_s) - (float(new_s) - float(old_s))) < 1e-9
+    # Same code on both sides: matching by file(funcname) keeps labels
+    # line-number-free, so rows never split on lineno drift.
+    assert all(":" not in line.split()[-1] or line.split()[-1].startswith("<built-in>") for line in lines[2:])
 
 
 def test_profile_cli_markdown_mode(capsys):

@@ -30,6 +30,12 @@ invariants", ``docs/architecture.md``) into a machine check:
 ``memo-purity``
     Functions that read or write a memo table must not consult ``sim.now``,
     an RNG, or declared global/nonlocal mutable state.
+``bounded-memo``
+    Every module-level memo/cache dict (a ``{}``/``dict()`` binding whose
+    name ends in ``memo`` or ``cache``) must have a declared clear-on-limit
+    bound — an ``if len(NAME) >= LIMIT: NAME.clear()`` guard somewhere in
+    the module — so per-process tables cannot grow without bound across
+    long sweeps.
 ``cli-schema-sync``
     Each sweep CLI's ``ROW_SCHEMA`` (rendered into its ``--help`` epilog)
     must list every key its rows actually emit, and must not document keys
@@ -590,6 +596,86 @@ def check_memo_purity(module: Module) -> Iterator[Finding]:
 
 
 # --------------------------------------------------------------------------
+# Rule: bounded-memo
+# --------------------------------------------------------------------------
+
+#: Module-level names with one of these suffixes (case-insensitive, leading
+#: underscores ignored) are treated as memo/cache tables when bound to a dict.
+_MEMO_NAME_SUFFIXES = ("memo", "cache")
+
+
+def _memo_dict_assignments(tree: ast.Module) -> Iterator[Tuple[str, ast.stmt]]:
+    """Module-level ``NAME = {}`` / ``NAME: ... = dict()`` memo-table bindings."""
+    for node in tree.body:
+        if isinstance(node, ast.Assign) and len(node.targets) == 1:
+            target, value = node.targets[0], node.value
+        elif isinstance(node, ast.AnnAssign) and node.value is not None:
+            target, value = node.target, node.value
+        else:
+            continue
+        if not isinstance(target, ast.Name):
+            continue
+        is_dict = isinstance(value, ast.Dict) or (
+            isinstance(value, ast.Call)
+            and isinstance(value.func, ast.Name)
+            and value.func.id == "dict"
+        )
+        if not is_dict:
+            continue
+        name = target.id.lower().lstrip("_")
+        if name.endswith(_MEMO_NAME_SUFFIXES):
+            yield target.id, node
+
+
+def _clear_on_limit_names(tree: ast.Module) -> Set[str]:
+    """Names cleared under a ``len(NAME) >= LIMIT`` guard anywhere in the module."""
+    bounded: Set[str] = set()
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.If):
+            continue
+        limited = {
+            sub.args[0].id
+            for sub in ast.walk(node.test)
+            if isinstance(sub, ast.Call)
+            and isinstance(sub.func, ast.Name)
+            and sub.func.id == "len"
+            and len(sub.args) == 1
+            and isinstance(sub.args[0], ast.Name)
+        }
+        if not limited:
+            continue
+        for body_stmt in node.body:
+            for sub in ast.walk(body_stmt):
+                if (
+                    isinstance(sub, ast.Call)
+                    and isinstance(sub.func, ast.Attribute)
+                    and sub.func.attr == "clear"
+                    and isinstance(sub.func.value, ast.Name)
+                    and sub.func.value.id in limited
+                ):
+                    bounded.add(sub.func.value.id)
+    return bounded
+
+
+def check_bounded_memo(module: Module) -> Iterator[Finding]:
+    bounded = None  # computed lazily: most modules have no memo tables
+    for name, node in _memo_dict_assignments(module.tree):
+        if bounded is None:
+            bounded = _clear_on_limit_names(module.tree)
+        if name in bounded:
+            continue
+        yield Finding(
+            "bounded-memo",
+            module.display,
+            node.lineno,
+            node.col_offset,
+            f"module-level memo/cache dict {name} has no clear-on-limit bound; "
+            f"guard every insert with 'if len({name}) >= LIMIT: {name}.clear()' "
+            "(unbounded per-process tables leak across long sweeps)",
+        )
+
+
+# --------------------------------------------------------------------------
 # Rule: dispatch-complete (project-wide)
 # --------------------------------------------------------------------------
 
@@ -891,6 +977,7 @@ MODULE_RULES = {
     "slotted-messages": check_slotted_messages,
     "ordered-iteration": check_ordered_iteration,
     "memo-purity": check_memo_purity,
+    "bounded-memo": check_bounded_memo,
 }
 PROJECT_RULES = {
     "dispatch-complete": check_dispatch_complete,

@@ -72,6 +72,13 @@ class PrePrepare:
     # Execution-plan stash filled lazily by ``block_execution_plan`` (the same
     # frozen object reaches every replica; see repro.core.replica).
     _exec_plan: Any = field(init=False, compare=False, repr=False, default=None)
+    # Per-request reply-values stash filled by ``block_reply_values``, guarded
+    # by the post-execution state digest (see repro.core.replica).
+    _reply_values: Any = field(init=False, compare=False, repr=False, default=None)
+    # Recomputed-digest stash filled by ``pre_prepare_expected_digest`` — a
+    # pure function of the frozen fields, so replicas past the first reuse it
+    # (each still compares against ``digest`` independently).
+    _expected_digest: Any = field(init=False, compare=False, repr=False, default=None)
 
     def __post_init__(self):
         _stash(self, _HEADER + 32 + sum(r.size_bytes for r in self.requests) + 256)

@@ -101,6 +101,55 @@ def block_execution_plan(pre_prepare, service, costs) -> Tuple[List[Operation], 
     return operations, cost
 
 
+def pre_prepare_expected_digest(pre_prepare) -> str:
+    """The digest the proposer *should* have attached to this pre-prepare.
+
+    A pure function of the frozen message fields (sequence, view, request
+    ids), so it is computed once per cluster and stashed on the shared
+    message object.  Every replica still compares the stashed value against
+    ``pre_prepare.digest`` independently — a forged digest field is rejected
+    by all of them, exactly as with per-replica recomputation.
+    """
+    digest = pre_prepare._expected_digest
+    if digest is None:
+        digest = block_digest(
+            pre_prepare.sequence,
+            pre_prepare.view,
+            [r.request_id for r in pre_prepare.requests],
+        )
+        object.__setattr__(pre_prepare, "_expected_digest", digest)
+    return digest
+
+
+def block_reply_values(pre_prepare, execution_results, state_digest) -> Tuple[Tuple, ...]:
+    """Per-request reply-value tuples for one executed block.
+
+    Like :func:`block_execution_plan`, the same frozen ``PrePrepare`` reaches
+    every replica — and when the service is authenticated, the post-execution
+    state digest commits to every result value (the journal leaves hash them),
+    so two replicas at the same digest provably computed the same values.  The
+    partition is therefore stashed on the message guarded by the digest:
+    built once per cluster, reused by the n-1 peers (and by the several
+    reply/ack paths of one replica).  A replica at a different digest — or a
+    non-authenticated service, whose digest is salted with the node id —
+    misses the guard and rebuilds, which is exactly the old per-replica cost.
+    """
+    memo = pre_prepare._reply_values
+    if memo is not None and memo[0] == state_digest:
+        return memo[1]
+    position = 0
+    values_per_request = []
+    for request in pre_prepare.requests:
+        count = len(request.operations)
+        values_per_request.append(
+            tuple(result.value for result in execution_results[position : position + count])
+        )
+        position += count
+    values_per_request = tuple(values_per_request)
+    object.__setattr__(pre_prepare, "_reply_values", (state_digest, values_per_request))
+    return values_per_request
+
+
 class SBFTReplica(Process):
     """One SBFT replica."""
 
@@ -485,10 +534,7 @@ class SBFTReplica(Process):
             return
         if not self.log.in_window(message.sequence, self.last_stable):
             return
-        expected_digest = block_digest(
-            message.sequence, message.view, [r.request_id for r in message.requests]
-        )
-        if expected_digest != message.digest:
+        if pre_prepare_expected_digest(message) != message.digest:
             return
 
         if slot.pre_prepare is not None and message.view > slot.pre_prepare_view:
@@ -769,12 +815,11 @@ class SBFTReplica(Process):
 
     def _record_replies(self, slot: SlotState) -> None:
         """Remember recent replies per client (deduplication + retransmits)."""
-        position = 0
-        for request in slot.pre_prepare.requests:
-            count = len(request.operations)
-            values = tuple(result.value for result in slot.execution_results[position : position + count])
+        reply_values = block_reply_values(
+            slot.pre_prepare, slot.execution_results, slot.state_digest
+        )
+        for request, values in zip(slot.pre_prepare.requests, reply_values):
             self._replies.record(request.client_id, request.timestamp, slot.sequence, values)
-            position += count
 
     def _cancel_request_timers(self, slot: SlotState) -> None:
         for request in slot.pre_prepare.requests:
@@ -853,10 +898,12 @@ class SBFTReplica(Process):
         if slot.pre_prepare is None:
             return
         slot.acks_sent = True
+        reply_values = block_reply_values(
+            slot.pre_prepare, slot.execution_results, slot.state_digest
+        )
         position = 0
-        for request in slot.pre_prepare.requests:
+        for request, values in zip(slot.pre_prepare.requests, reply_values):
             count = len(request.operations)
-            values = tuple(result.value for result in slot.execution_results[position : position + count])
             proof = None
             if isinstance(self.service, AuthenticatedService) and count > 0:
                 self.charge_cpu(self.costs.merkle_proof_per_level * 20)
@@ -879,10 +926,10 @@ class SBFTReplica(Process):
     # client's retry fallback)
     # ------------------------------------------------------------------
     def _send_direct_replies_for_slot(self, slot: SlotState) -> None:
-        position = 0
-        for request in slot.pre_prepare.requests:
-            count = len(request.operations)
-            values = tuple(result.value for result in slot.execution_results[position : position + count])
+        reply_values = block_reply_values(
+            slot.pre_prepare, slot.execution_results, slot.state_digest
+        )
+        for request, values in zip(slot.pre_prepare.requests, reply_values):
             self.charge_cpu(self.costs.rsa_sign)
             signature = self.keys.signing_key.sign(("reply", request.client_id, request.timestamp, values))
             reply = ClientReply(
@@ -894,7 +941,6 @@ class SBFTReplica(Process):
                 signature=signature,
             )
             self._send_to_client(request.client_id, reply)
-            position += count
 
     def _answer_waiting_direct_replies(self, slot: SlotState) -> None:
         for request in slot.pre_prepare.requests:

@@ -33,6 +33,13 @@ def _encode_none(value: None) -> bytes:
     return b"\x00none"
 
 
+def _sorted_dict_items(value: dict) -> list:
+    """Order-independent dict normal form: sorted ``(str(key), encoded value)``
+    pairs.  Values are pre-encoded to ``bytes`` so the sort order is total and
+    the streaming path below emits the same bytes as the materializing one."""
+    return sorted((str(k), _to_bytes(v)) for k, v in value.items())
+
+
 def _encode_sequence(value: Any) -> bytes:
     out = bytearray()
     for item in value:
@@ -43,7 +50,7 @@ def _encode_sequence(value: Any) -> bytes:
 
 
 def _encode_dict(value: dict) -> bytes:
-    return _to_bytes(sorted((str(k), _to_bytes(v)) for k, v in value.items()))
+    return _encode_sequence(_sorted_dict_items(value))
 
 
 #: Exact-type fast path for the canonical encoder (the hot inner loop of every
@@ -118,19 +125,65 @@ def memo_key(value: Any) -> Any:
     return (kind, value)
 
 
+#: Interned 4-byte length prefixes for the common short encodings (digest
+#: strings, small ints): the streaming encoder emits one prefix per item, and
+#: materializing a fresh ``bytes`` for each would dominate small hashes.
+_LEN4 = tuple(i.to_bytes(4, "big") for i in range(1 << 10))
+
+
+def _flatten_into(value: Any, out: list) -> int:
+    """Append ``value``'s canonical encoding to ``out`` as a flat run of
+    chunks (length prefixes included) and return its total byte length.
+
+    This is the streaming counterpart of :func:`_to_bytes`: byte-for-byte the
+    same encoding, but nested sequences append their items' chunks directly
+    instead of concatenating a fresh ``bytes`` per nesting level.  Length
+    prefixes are reserved as placeholder slots and filled in after the
+    recursion, when the encoded length is known.
+    """
+    encoder = _ENCODERS.get(type(value))
+    if encoder is _encode_sequence:
+        pass
+    elif encoder is _encode_dict:
+        value = _sorted_dict_items(value)
+    elif encoder is not None:
+        part = encoder(value)
+        out.append(part)
+        return len(part)
+    else:
+        part = _to_bytes(value)  # subclass / repr fallback, materializing
+        out.append(part)
+        return len(part)
+    total = 0
+    append = out.append
+    for item in value:
+        slot = len(out)
+        append(b"")
+        length = _flatten_into(item, out)
+        out[slot] = _LEN4[length] if length < 1024 else length.to_bytes(4, "big")
+        total += 4 + length
+    return total
+
+
+def _canonical_bytes(parts: tuple) -> bytes:
+    """The exact byte stream :func:`sha256_hex` hashes for ``parts``."""
+    out: list = []
+    for part in parts:
+        slot = len(out)
+        out.append(b"")
+        length = _flatten_into(part, out)
+        out[slot] = _LEN4[length] if length < 1024 else length.to_bytes(4, "big")
+    return b"".join(out)
+
+
 def sha256_hex(*parts: Any) -> str:
     """Hex SHA256 of the canonical encoding of ``parts``."""
-    hasher = hashlib.sha256()
-    for part in parts:
-        encoded = _to_bytes(part)
-        hasher.update(len(encoded).to_bytes(4, "big"))
-        hasher.update(encoded)
-    return hasher.hexdigest()
+    return hashlib.sha256(_canonical_bytes(parts)).hexdigest()
 
 
 def sha256_int(*parts: Any) -> int:
     """SHA256 of ``parts`` as an integer (used to hash onto the mock group)."""
-    return int(sha256_hex(*parts), 16)
+    return int.from_bytes(hashlib.sha256(_canonical_bytes(parts)).digest(), "big")
 
 
 def block_digest(sequence: int, view: int, requests: Iterable[Any]) -> str:

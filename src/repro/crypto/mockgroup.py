@@ -100,5 +100,36 @@ class MockGroup:
             den = (den * (index - j)) % self.order
         return (num * pow(den, -1, self.order)) % self.order
 
+    def lagrange_coefficients(self, indices: list[int]) -> tuple[int, ...]:
+        """All Lagrange coefficients at zero over ``indices``, index-aligned.
+
+        Equivalent to ``[lagrange_coefficient(i, indices) for i in indices]``
+        but with a single modular inverse: the per-index denominators are
+        batch-inverted (Montgomery's trick — invert the running product once,
+        then peel per-element inverses off with multiplications).  Threshold
+        combines call this once per signer set, so the ``pow(-1, order)``
+        count drops from ``threshold`` to one.
+        """
+        order = self.order
+        nums, dens = [], []
+        for index in indices:
+            num, den = 1, 1
+            for j in indices:
+                if j == index:
+                    continue
+                num = (num * (-j)) % order
+                den = (den * (index - j)) % order
+            nums.append(num)
+            dens.append(den)
+        prefix = [1]
+        for den in dens:
+            prefix.append((prefix[-1] * den) % order)
+        inv_running = pow(prefix[-1], -1, order)
+        coeffs = [0] * len(dens)
+        for k in range(len(dens) - 1, -1, -1):
+            coeffs[k] = (nums[k] * prefix[k] % order) * inv_running % order
+            inv_running = (inv_running * dens[k]) % order
+        return tuple(coeffs)
+
 
 DEFAULT_GROUP = MockGroup()

@@ -186,9 +186,7 @@ class ThresholdScheme:
         coeffs = self._lagrange_memo.get(chosen)
         if coeffs is None:
             indices = [i + 1 for i in chosen]  # Shamir x-coordinates are 1-based
-            coeffs = tuple(
-                self.group.lagrange_coefficient(signer_id + 1, indices) for signer_id in chosen
-            )
+            coeffs = self.group.lagrange_coefficients(indices)
             if len(self._lagrange_memo) >= self.CACHE_LIMIT:
                 self._lagrange_memo.clear()
             self._lagrange_memo[chosen] = coeffs

@@ -58,6 +58,7 @@ import sys
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
+from repro.core.execution_cache import clear as clear_execution_cache
 from repro.errors import ConfigurationError
 from repro.experiments.harness import (
     COMMON_ROW_SCHEMA,
@@ -272,6 +273,9 @@ def _sweep_point_worker(spec: Tuple) -> Dict:
     wall, cpu, result = timed_rounds(
         lambda: run_fault_point(protocol, topology, scenario, scale, seed=seed, label=label),
         rounds,
+        # Cold cache: every recorded round measures the reproducible
+        # first-execution-plus-(n-1)-replays path, never a warmed-up rerun.
+        setup=clear_execution_cache,
     )
     run = result.run
     n, _c = protocol_sizes(protocol, scale.f)

@@ -13,8 +13,12 @@ rows ordered by (cumulative time, name) — suitable for committing to
 
 ``--dump FILE`` additionally writes the raw ``pstats`` data (the CI profile
 step uploads it as an artifact), and ``--scale small`` shrinks the point for
-smoke use.  Absolute times vary across machines; the *shape* of the table
-(which functions dominate) is what the committed snapshot documents.
+smoke use.  ``--compare OLD.pstats`` prints a per-function cumulative-time
+*delta* table against an older dump instead — functions matched by
+``file(funcname)`` so line-number drift between versions doesn't split rows —
+making "what moved" in a perf PR a single command.  Absolute times vary
+across machines; the *shape* of the table (which functions dominate) is what
+the committed snapshot documents.
 """
 
 from __future__ import annotations
@@ -63,20 +67,30 @@ def profile_point(
     return profiler
 
 
-def _normalize_location(filename: str, lineno: int, funcname: str) -> str:
-    """Stable, machine-independent label for one profiled function."""
-    if filename.startswith("~") or filename == "":
-        return f"<built-in> {funcname}"
+def _normalize_filename(filename: str) -> str:
     # Strip everything up to the package root so the table does not leak
     # absolute interpreter/checkout paths.
     for marker in ("/repro/", "\\repro\\"):
         index = filename.rfind(marker)
         if index != -1:
-            filename = "repro/" + filename[index + len(marker):].replace("\\", "/")
-            break
-    else:
-        filename = filename.rsplit("/", 1)[-1]
-    return f"{filename}:{lineno}({funcname})"
+            return "repro/" + filename[index + len(marker):].replace("\\", "/")
+    return filename.rsplit("/", 1)[-1]
+
+
+def _normalize_location(filename: str, lineno: int, funcname: str) -> str:
+    """Stable, machine-independent label for one profiled function."""
+    if filename.startswith("~") or filename == "":
+        return f"<built-in> {funcname}"
+    return f"{_normalize_filename(filename)}:{lineno}({funcname})"
+
+
+def _function_key(filename: str, funcname: str) -> str:
+    """Line-number-free label: how `--compare` matches functions across two
+    dumps of *different* versions of the code (line numbers shift between
+    versions; file + function name is what stays stable)."""
+    if filename.startswith("~") or filename == "":
+        return f"<built-in> {funcname}"
+    return f"{_normalize_filename(filename)}({funcname})"
 
 
 def top_cumulative(profiler: cProfile.Profile, top: int = 25) -> List[Dict]:
@@ -101,9 +115,56 @@ def top_cumulative(profiler: cProfile.Profile, top: int = 25) -> List[Dict]:
     return rows[: max(1, top)]
 
 
-def format_profile_table(rows: Sequence[Dict], markdown: bool = False) -> str:
+def cumulative_by_function(stats: pstats.Stats) -> Dict[str, float]:
+    """Cumulative seconds per line-number-free function key for one profile."""
+    totals: Dict[str, float] = {}
+    for (filename, _lineno, funcname), (_cc, _ncalls, _tottime, cumtime, _callers) in stats.stats.items():
+        key = _function_key(filename, funcname)
+        # The same function can appear under two line numbers (decorators,
+        # moved code between the dumps being compared): sum its cumtime.
+        totals[key] = totals.get(key, 0.0) + cumtime
+    return totals
+
+
+#: Columns of one ``--compare`` delta row, in print order.
+COMPARE_COLUMNS = ("cumtime_old_s", "cumtime_new_s", "delta_s", "function")
+
+
+def compare_profiles(old_stats: pstats.Stats, new_stats: pstats.Stats, top: int = 25) -> List[Dict]:
+    """Per-function cumulative-time delta table between two profile dumps.
+
+    Functions are matched by ``file(funcname)`` (line numbers shift between
+    versions of the code); a function present in only one dump contributes
+    its full cumtime as the delta.  The ``top`` rows with the largest
+    absolute movement are kept, ordered by signed delta — biggest savings
+    first, biggest regressions last — with the label as a deterministic
+    tie-break.
+    """
+    old = cumulative_by_function(old_stats)
+    new = cumulative_by_function(new_stats)
+    rows = []
+    for key in old.keys() | new.keys():
+        cum_old = round(old.get(key, 0.0), 3)
+        cum_new = round(new.get(key, 0.0), 3)
+        rows.append(
+            {
+                "cumtime_old_s": cum_old,
+                "cumtime_new_s": cum_new,
+                "delta_s": round(cum_new - cum_old, 3),
+                "function": key,
+            }
+        )
+    rows.sort(key=lambda row: (-abs(row["delta_s"]), row["function"]))
+    rows = rows[: max(1, top)]
+    rows.sort(key=lambda row: (row["delta_s"], row["function"]))
+    return rows
+
+
+def format_profile_table(
+    rows: Sequence[Dict], markdown: bool = False, columns: Sequence[str] = ROW_COLUMNS
+) -> str:
     """Render profile rows as an aligned text or markdown table."""
-    header = list(ROW_COLUMNS)
+    header = list(columns)
     cells = [[str(row[column]) for column in header] for row in rows]
     widths = [
         max(len(header[i]), max((len(line[i]) for line in cells), default=0))
@@ -151,6 +212,14 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     parser.add_argument(
         "--dump", default=None, metavar="FILE", help="also write raw pstats data to FILE"
     )
+    parser.add_argument(
+        "--compare",
+        default=None,
+        metavar="OLD.pstats",
+        help="print the per-function cumtime delta table against an older "
+        "dump (made with --dump, typically on the pre-change code) instead "
+        "of the top-N table — 'what moved' in a perf PR as one command",
+    )
     args = parser.parse_args(argv)
 
     profiler = profile_point(
@@ -164,6 +233,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     if args.dump:
         profiler.dump_stats(args.dump)
         print(f"wrote {args.dump}", file=sys.stderr)
+    if args.compare:
+        rows = compare_profiles(pstats.Stats(args.compare), pstats.Stats(profiler), top=args.top)
+        print(format_profile_table(rows, markdown=args.markdown, columns=COMPARE_COLUMNS))
+        return 0
     rows = top_cumulative(profiler, top=args.top)
     print(format_profile_table(rows, markdown=args.markdown))
     return 0

@@ -40,6 +40,7 @@ import argparse
 import sys
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from repro.core.execution_cache import clear as clear_execution_cache
 from repro.errors import ConfigurationError
 from repro.experiments.harness import (
     COMMON_ROW_SCHEMA,
@@ -96,6 +97,9 @@ def _sweep_point_worker(spec: Tuple) -> Dict:
             label=f"{protocol}/f={f}/n={n}",
         ),
         rounds,
+        # Cold cache: every recorded round measures the reproducible
+        # first-execution-plus-(n-1)-replays path, never a warmed-up rerun.
+        setup=clear_execution_cache,
     )
     row = result_row(
         result,

@@ -46,6 +46,7 @@ import argparse
 import sys
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from repro.core.execution_cache import clear as clear_execution_cache
 from repro.errors import ConfigurationError
 from repro.experiments.harness import (
     COMMON_ROW_SCHEMA,
@@ -60,7 +61,7 @@ from repro.experiments.harness import (
     timed_rounds,
 )
 from repro.protocols.cluster import build_cluster
-from repro.services.ledger import LedgerService, clear_execution_cache, ledger_operation
+from repro.services.ledger import LedgerService, ledger_operation
 from repro.workloads.ethereum_workload import EthereumWorkload, SyntheticTrace
 
 #: Sweep grids per scale: replication factors, stream length and client count.

@@ -30,7 +30,11 @@ from repro.core.messages import (
     StateTransferResponse,
 )
 from repro.core.reply_cache import ClientReplyTracker
-from repro.core.replica import block_execution_plan
+from repro.core.replica import (
+    block_execution_plan,
+    block_reply_values,
+    pre_prepare_expected_digest,
+)
 from repro.core.stats import PBFTReplicaStats
 from repro.crypto.costs import CryptoCosts, DEFAULT_COSTS
 from repro.crypto.hashing import block_digest, sha256_hex
@@ -331,8 +335,7 @@ class PBFTReplica(Process):
         slot = self._slot(message.sequence)
         if slot.pre_prepare is not None and slot.view == message.view:
             return
-        expected = block_digest(message.sequence, message.view, [r.request_id for r in message.requests])
-        if expected != message.digest:
+        if pre_prepare_expected_digest(message) != message.digest:
             return
         slot.pre_prepare = message
         slot.view = message.view
@@ -439,10 +442,10 @@ class PBFTReplica(Process):
             self.service.digest() if hasattr(self.service, "digest") else sha256_hex("state", sequence)
         )
 
-        position = 0
-        for request in slot.pre_prepare.requests:
-            count = len(request.operations)
-            values = tuple(result.value for result in slot.execution_results[position : position + count])
+        reply_values = block_reply_values(
+            slot.pre_prepare, slot.execution_results, slot.state_digest
+        )
+        for request, values in zip(slot.pre_prepare.requests, reply_values):
             self._replies.record(request.client_id, request.timestamp, sequence, values)
             self.charge_cpu(self.costs.rsa_sign)
             signature = self.signing_key.sign(("reply", request.client_id, request.timestamp, values))
@@ -459,7 +462,6 @@ class PBFTReplica(Process):
             )
             self._request_first_seen.pop(request.request_id, None)
             self._direct_reply_waiting.pop(request.request_id, None)
-            position += count
 
         if not self._request_first_seen and self._view_change_timer is not None:
             self.cancel_timer(self._view_change_timer)

@@ -33,6 +33,7 @@ from dataclasses import field
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from repro.compat import dataclass
+from repro.core import execution_cache
 from repro.crypto.hashing import memo_key, sha256_hex
 from repro.crypto.merkle import MerkleProof, MerkleTree
 from repro.errors import InvalidProof
@@ -179,11 +180,20 @@ class AuthenticatedKVStore(AuthenticatedService):
         self._prev_digest: Dict[int, str] = {}
         self._digest_at: Dict[int, str] = {}
         self._block_order: List[int] = []
+        # Execution-cache state fingerprint: ``(contents digest, chain digest
+        # at computation time)``.  The anchor pins *when* the contents were
+        # fingerprinted, so a fingerprint computed after a state transfer can
+        # never alias one computed at genesis even if the raw contents digests
+        # coincide.  Invalidated by every non-journaled mutation.
+        self._state_fingerprint: Optional[Tuple[str, str]] = None
 
     # ------------------------------------------------------------------
     # ReplicatedService
     # ------------------------------------------------------------------
     def execute(self, operation: Operation) -> OperationResult:
+        # Out-of-band execution (tests, direct callers) mutates the store
+        # without journaling; drop the fingerprint like ``put`` does.
+        self._state_fingerprint = None
         return self._store.execute(operation)
 
     def query(self, operation: Operation) -> OperationResult:
@@ -193,9 +203,70 @@ class AuthenticatedKVStore(AuthenticatedService):
         return self._store.execution_cost(operation) + 2e-6
 
     def execute_block(self, sequence: int, operations: Sequence[Operation]) -> List[OperationResult]:
-        """Execute a decision block and journal it for later proofs."""
-        results = [self.execute(op) for op in operations]
-        self.journal_block(sequence, operations, results)
+        """Execute a decision block and journal it for later proofs.
+
+        Consults the deployment-shared execution cache
+        (:mod:`repro.core.execution_cache`): the first replica of a cluster to
+        execute a committed block records the results, the ordered state delta
+        and the journal record; its n-1 peers replay that entry instead of
+        re-running ``KVStore.execute`` per operation.  Replay is
+        decision-for-decision identical — same results, same journal entries,
+        same proofs, same chain digests, and the *simulated*
+        ``execution_cost`` accounting untouched — which
+        ``tests/test_kv_execution_cache.py`` pins on fixed-seed clusters.
+        """
+        if not execution_cache.enabled():
+            results = [self._store.execute(op) for op in operations]
+            self.journal_block(sequence, operations, results)
+            return results
+
+        fingerprint = self._state_fingerprint
+        if fingerprint is None:
+            fingerprint = (self._store.contents_digest(), self._chain_digest)
+            self._state_fingerprint = fingerprint
+        cache_key = (
+            "kv",
+            fingerprint,
+            self._chain_digest,
+            sequence,
+            tuple(map(operation_digest, operations)),
+        )
+        cached = execution_cache.lookup(cache_key)
+        if cached is not None:
+            results, effects, entries, tree, new_digest = cached
+            # Replay: same puts/deletes in the same order (so even the raw
+            # dict insertion order matches an uncached execution), then the
+            # recorded journal bookkeeping with no re-hashing at all.
+            self._store.replay_effects(effects)
+            self._journal_entries[sequence] = list(entries)
+            self._journal_results[sequence] = list(results)
+            self._journal_trees[sequence] = tree
+            self._prev_digest[sequence] = self._chain_digest
+            self._chain_digest = new_digest
+            self._digest_at[sequence] = new_digest
+            self._block_order.append(sequence)
+            return list(results)
+
+        # First execution of this block in the deployment: execute and record
+        # the state delta (the exact mutation stream, not a compacted map) for
+        # the peers.
+        store_execute = self._store.execute
+        results = []
+        effects: List[Tuple[bool, str, Any]] = []
+        for operation in operations:
+            results.append(store_execute(operation))
+            payload = operation.payload
+            if isinstance(payload, KVOperation):
+                action = payload.action
+                if action == "put":
+                    effects.append((True, payload.key, payload.value))
+                elif action == "delete":
+                    effects.append((False, payload.key, None))
+        entries, tree = self.journal_block(sequence, operations, results)
+        execution_cache.store(
+            cache_key,
+            (tuple(results), tuple(effects), entries, tree, self._chain_digest),
+        )
         return results
 
     def journal_block(
@@ -203,11 +274,13 @@ class AuthenticatedKVStore(AuthenticatedService):
         sequence: int,
         operations: Sequence[Operation],
         results: Sequence[OperationResult],
-    ) -> None:
+    ) -> Tuple[Tuple[JournalEntry, ...], MerkleTree]:
         """Journal an already-executed block so it can be proven later.
 
         Used directly by services (e.g. the ledger) that execute operations
         through their own engine but store state in this authenticated store.
+        Returns the shared ``(entries, tree)`` journal record (what the
+        execution cache stores for replay).
         """
         leaves = tuple(
             (sequence, position, _operation_digest(op), _result_digest(result))
@@ -221,6 +294,7 @@ class AuthenticatedKVStore(AuthenticatedService):
         self._chain_digest = chain_step(self._chain_digest, sequence, tree.root)
         self._digest_at[sequence] = self._chain_digest
         self._block_order.append(sequence)
+        return entries, tree
 
     def snapshot(self) -> Any:
         return {
@@ -237,6 +311,9 @@ class AuthenticatedKVStore(AuthenticatedService):
 
     def restore(self, snapshot: Any) -> None:
         self._store.restore(snapshot["data"])
+        # Restored state was not built through this instance's journal chain;
+        # re-fingerprint before the next cached block.
+        self._state_fingerprint = None
         self._chain_digest = GENESIS_DIGEST
         self._journal_entries = {}
         self._journal_results = {}
@@ -328,6 +405,9 @@ class AuthenticatedKVStore(AuthenticatedService):
         return self._store.get(key, default)
 
     def put(self, key: str, value: Any) -> None:
+        # Direct (non-journaled) write: drop the execution-cache fingerprint
+        # so a diverged store can never hit a stale entry.
+        self._state_fingerprint = None
         self._store.put(key, value)
 
     @property

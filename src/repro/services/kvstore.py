@@ -80,6 +80,18 @@ class KVStore(ReplicatedService):
             cost += self._persist_cost_per_byte * operation.size_bytes
         return cost
 
+    def replay_effects(self, effects) -> None:
+        """Apply a recorded mutation stream (the execution cache's state
+        delta): ``(True, key, value)`` puts, ``(False, key, None)`` deletes,
+        in the original operation order so even dict insertion order matches
+        an uncached execution."""
+        data = self._data
+        for is_put, key, value in effects:
+            if is_put:
+                data[key] = value
+            else:
+                data.pop(key, None)
+
     def snapshot(self) -> Any:
         return copy.deepcopy(self._data)
 

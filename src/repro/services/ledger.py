@@ -10,10 +10,11 @@ the new state digest will be equal in all non-faulty replicas" (Section IX) —
 which means the n replicas of a cluster all interpret the *identical*
 committed block over the *identical* pre-state and produce the identical
 results.  Re-interpreting it n times is pure waste in a simulation where all
-replicas share one process.  ``execute_block`` therefore consults a
-module-level cache keyed entirely by digests:
+replicas share one process.  ``execute_block`` therefore consults the
+deployment-shared cache (:mod:`repro.core.execution_cache`, also used by the
+authenticated KV store) with a key made entirely of digests:
 
-    (state fingerprint, chain digest, block number, sequence,
+    ("ledger", state fingerprint, chain digest, block number, sequence,
      per-operation digests)
 
 The first replica to execute a committed block stores the operation results,
@@ -38,6 +39,7 @@ from __future__ import annotations
 
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
+from repro.core import execution_cache
 from repro.crypto.costs import CryptoCosts, DEFAULT_COSTS
 from repro.errors import InvalidTransaction
 from repro.evm.state import WorldState
@@ -51,35 +53,27 @@ from repro.services.interface import (
     OperationResult,
 )
 
-#: Cluster-wide execution cache: first replica executes, peers replay.
-#: Entries are ``(results, receipts, puts)`` tuples of immutables.
-_EXEC_CACHE: Dict[Tuple, Tuple] = {}
-_EXEC_CACHE_LIMIT = 1 << 12
-_EXEC_CACHE_STATS = {"hits": 0, "misses": 0}
-_exec_cache_enabled = True
+# The cache itself lives in :mod:`repro.core.execution_cache` (shared with the
+# authenticated KV store since PR 8); these ledger-named wrappers are the
+# original PR 3 public API and keep existing callers/tests working.
 
 
 def set_execution_cache_enabled(enabled: bool) -> bool:
     """Toggle the deployment-shared execution cache; returns the old value."""
-    global _exec_cache_enabled
-    previous = _exec_cache_enabled
-    _exec_cache_enabled = bool(enabled)
-    return previous
+    return execution_cache.set_enabled(enabled)
 
 
 def execution_cache_enabled() -> bool:
-    return _exec_cache_enabled
+    return execution_cache.enabled()
 
 
 def clear_execution_cache() -> None:
     """Drop all cached block executions (and reset the hit/miss counters)."""
-    _EXEC_CACHE.clear()
-    _EXEC_CACHE_STATS["hits"] = 0
-    _EXEC_CACHE_STATS["misses"] = 0
+    execution_cache.clear()
 
 
 def execution_cache_stats() -> Dict[str, int]:
-    return dict(_EXEC_CACHE_STATS, size=len(_EXEC_CACHE))
+    return execution_cache.stats()
 
 
 def ledger_operation(transaction: Transaction, client_id: int = -1, timestamp: int = 0) -> Operation:
@@ -128,7 +122,7 @@ class LedgerService(AuthenticatedService):
         self._block_number = 0
         self._costs = costs
         self._in_block = False
-        self._state_fingerprint: Optional[str] = None
+        self._state_fingerprint: Optional[Tuple[str, str]] = None
         self.receipts: List[TransactionReceipt] = []
 
     # ------------------------------------------------------------------
@@ -190,21 +184,24 @@ class LedgerService(AuthenticatedService):
         self._block_number += 1
 
         cache_key = None
-        if _exec_cache_enabled:
+        if execution_cache.enabled():
             fingerprint = self._state_fingerprint
             if fingerprint is None:
-                fingerprint = self._authkv.contents_digest()
+                # Anchored to the chain digest at computation time, so a
+                # fingerprint taken after a restore can never alias one taken
+                # at genesis even if the raw contents digests coincide.
+                fingerprint = (self._authkv.contents_digest(), self._authkv.digest())
                 self._state_fingerprint = fingerprint
             cache_key = (
+                "ledger",
                 fingerprint,
                 self._authkv.digest(),
                 self._block_number,
                 sequence,
-                tuple(operation_digest(op) for op in operations),
+                tuple(map(operation_digest, operations)),
             )
-            cached = _EXEC_CACHE.get(cache_key)
+            cached = execution_cache.lookup(cache_key)
             if cached is not None:
-                _EXEC_CACHE_STATS["hits"] += 1
                 results, receipts, puts = cached
                 authkv = self._authkv
                 # Replay the recorded state delta instead of re-interpreting:
@@ -215,7 +212,6 @@ class LedgerService(AuthenticatedService):
                 self.receipts.extend(receipts)
                 authkv.journal_block(sequence, list(operations), list(results))
                 return list(results)
-            _EXEC_CACHE_STATS["misses"] += 1
 
         # First execution of this block in the deployment: run the EVM and —
         # only when the cache can actually store the entry — record the state
@@ -236,12 +232,13 @@ class LedgerService(AuthenticatedService):
         self._authkv.journal_block(sequence, list(operations), results)
 
         if cache_key is not None:
-            if len(_EXEC_CACHE) >= _EXEC_CACHE_LIMIT:
-                _EXEC_CACHE.clear()
-            _EXEC_CACHE[cache_key] = (
-                tuple(results),
-                tuple(self.receipts[receipts_start:]),
-                tuple(record),
+            execution_cache.store(
+                cache_key,
+                (
+                    tuple(results),
+                    tuple(self.receipts[receipts_start:]),
+                    tuple(record),
+                ),
             )
         return results
 

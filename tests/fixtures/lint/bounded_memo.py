@@ -1,0 +1,41 @@
+"""Planted bounded-memo violations: module-level memo/cache dicts with no
+declared clear-on-limit bound."""
+
+from typing import Any, Dict
+
+_lookup_memo: Dict[str, str] = {}  # PLANT: bounded-memo
+
+_RESULT_CACHE = dict()  # PLANT: bounded-memo
+
+# Bounded the expected way: insertions guarded by a clear-on-limit check.
+_GOOD_MEMO: Dict[str, int] = {}
+_GOOD_MEMO_LIMIT = 64
+
+# A dict that is not a memo table (name lacks the memo/cache suffix) and a
+# non-dict cache-suffixed constant: neither is the rule's business.
+_STATS = {"hits": 0, "misses": 0}
+_cache_limit = 128
+
+
+def lookup(key: str) -> str:
+    value = _lookup_memo.get(key)
+    if value is None:
+        value = key.upper()
+        _lookup_memo[key] = value
+    return value
+
+
+def cached_size(key: str, value: Any) -> int:
+    if key not in _RESULT_CACHE:
+        _RESULT_CACHE[key] = len(str(value))
+    return _RESULT_CACHE[key]
+
+
+def good(key: str) -> int:
+    value = _GOOD_MEMO.get(key)
+    if value is None:
+        value = len(key)
+        if len(_GOOD_MEMO) >= _GOOD_MEMO_LIMIT:
+            _GOOD_MEMO.clear()
+        _GOOD_MEMO[key] = value
+    return value

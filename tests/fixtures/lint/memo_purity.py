@@ -1,6 +1,6 @@
 """Planted memo-purity violations (linter fixture; never imported)."""
 
-_digest_memo = {}
+_digest_memo = {}  # PLANT: bounded-memo
 
 
 def impure_lookup(sim, rng, key):

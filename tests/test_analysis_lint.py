@@ -40,6 +40,7 @@ def planted_violations(path: Path):
         "slotted_messages.py",
         "ordered_iteration.py",
         "memo_purity.py",
+        "bounded_memo.py",
     ],
 )
 def test_planted_violations_reported_at_exact_lines(fixture):

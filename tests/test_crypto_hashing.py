@@ -40,3 +40,57 @@ def test_chain_digest_includes_previous_hash():
 
 def test_dict_hash_is_order_independent():
     assert sha256_hex({"a": 1, "b": 2}) == sha256_hex({"b": 2, "a": 1})
+
+
+# ---------------------------------------------------------------------------
+# Golden digests: the streaming flattener must frame bytes exactly as the
+# pre-streaming implementation did (length-prefixed, depth-first), and
+# sha256_int must keep returning the same integers it did via the old
+# hex-string round-trip.
+# ---------------------------------------------------------------------------
+
+
+def test_golden_digest_empty():
+    assert sha256_hex() == (
+        "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855"
+    )
+
+
+def test_golden_digest_scalars():
+    assert sha256_hex("abc", 17, -4, 3.25, True, False, None, b"\x00\xffraw") == (
+        "0430230261881f64161498c1c2d5724a7bfff49c73b19f429ddc0dfabdd831fd"
+    )
+
+
+def test_golden_digest_nested_containers():
+    assert sha256_hex(
+        ["a", ["b", 2], ("c", 3.0)], {"k": 1, 2: "two", "a": [1, {"x": None}]}
+    ) == "1bd0004de014e3e5c596fc703a468fe911238d4b4fccf4057434738f1b016c01"
+
+
+def test_golden_digest_int_bool_distinction():
+    assert sha256_hex(0, 1, -1, True, False, 255, 256, -256) == (
+        "edfc41a3c4bdebc05e56a8b6c64ef17a05f12720a80fad6c57d1b15953bc0e14"
+    )
+
+
+def test_golden_digest_deep_and_empty_containers():
+    assert sha256_hex([[[["x"]]]], ((), ((),)), {"": {"": ""}}) == (
+        "28aca7f73071fb250c788f176060448caa5af0c7104f2b3e3b11730c9b07998b"
+    )
+
+
+def test_golden_sha256_int_regression():
+    # Exact integer the pre-streaming int(hexdigest, 16) implementation
+    # produced for a representative chain-digest call.
+    assert sha256_int("authkv-chain", "prev", 7, "root") == (
+        48115919909589846349264707072521519451657129320696085408929787504014964615265
+    )
+
+
+def test_long_parts_beyond_interned_prefix_table():
+    # Parts >= 1024 bytes take the non-interned length-prefix path; framing
+    # must still match a one-byte-longer / one-byte-shorter payload uniquely.
+    long_a = "a" * 5000
+    assert sha256_hex(long_a) != sha256_hex("a" * 4999)
+    assert sha256_hex([long_a, "b"]) != sha256_hex([long_a + "b"])

@@ -1,0 +1,254 @@
+"""KV adoption of the deployment-shared execution cache (mirrors
+``tests/test_execution_cache.py``, which pins the same invariants for the
+ledger).
+
+ROADMAP "Hot-path invariants": replaying a cached block must be
+decision-for-decision identical to re-interpreting it — same per-replica
+``stats``, journal entries, proofs, chain digests, client results and network
+traffic for fixed seeds, with the cache on or off — and any out-of-band state
+mutation (``restore`` on state transfer, direct ``put``/``execute``) must
+invalidate the state fingerprint so a diverged store can never hit a stale
+entry.
+"""
+
+import pytest
+
+from helpers import assert_agreement
+from repro.core.execution_cache import clear, set_enabled, stats
+from repro.experiments.fault_sweep import CONFIG_OVERRIDES, SCENARIOS, SWEEP_SCALES
+from repro.protocols.cluster import build_cluster
+from repro.services.authenticated_kv import AuthenticatedKVStore
+from repro.workloads.kv_workload import KVWorkload
+
+
+def _run_kv_cluster(protocol):
+    cluster = build_cluster(
+        protocol, f=1, c=1 if protocol == "sbft-c8" else None,
+        num_clients=2, topology="continent", batch_size=2, seed=3,
+    )
+    workload = KVWorkload(requests_per_client=8, batch_size=4, seed=7)
+    result = cluster.run(workload, max_sim_time=600.0, label=protocol)
+    fingerprint = {
+        "replica_stats": {rid: dict(r.stats) for rid, r in cluster.replicas.items()},
+        "client_stats": {cid: dict(c.stats) for cid, c in cluster.clients.items()},
+        "digests": {rid: r.service.digest() for rid, r in cluster.replicas.items()},
+        # Full journal byte-identity: entries, results and raw store contents
+        # (snapshot preserves dict insertion order, so replayed deltas must
+        # land in exactly the order an uncached execution would produce).
+        "snapshots": {rid: r.service.snapshot() for rid, r in cluster.replicas.items()},
+        "events": result.events_processed,
+        "messages": result.network_messages,
+        "bytes": result.network_bytes,
+        "sim_time": result.sim_time,
+        "completed": result.completed_operations,
+        "mean_latency": result.mean_latency,
+    }
+    return fingerprint
+
+
+@pytest.mark.parametrize("protocol", ["sbft-c0", "sbft-c8", "pbft"])
+def test_fixed_seed_identical_with_cache_on_and_off(protocol):
+    clear()
+    try:
+        with_cache = _run_kv_cluster(protocol)
+        cache_stats = stats()
+        # The cache actually engaged: one miss per block, n-1 hits each.
+        assert cache_stats["misses"] > 0
+        assert cache_stats["hits"] >= cache_stats["misses"]
+
+        previous = set_enabled(False)
+        try:
+            without_cache = _run_kv_cluster(protocol)
+        finally:
+            set_enabled(previous)
+    finally:
+        clear()
+
+    assert with_cache == without_cache
+
+
+def test_cache_shared_across_replicas_within_one_run():
+    clear()
+    try:
+        _run_kv_cluster("sbft-c8")
+        cache_stats = stats()
+        n = 3 * 1 + 2 * 1 + 1  # f=1, c=1 -> 6 replicas
+        # Every block: first replica misses, the other n-1 replay.
+        assert cache_stats["hits"] == (n - 1) * cache_stats["misses"]
+    finally:
+        clear()
+
+
+# ----------------------------------------------------------------------
+# Service-level correctness edges: cold vs warm identity, invalidation
+# ----------------------------------------------------------------------
+def _block(sequence):
+    """A decision block whose results depend on the pre-state (gets do)."""
+    return sequence, [
+        AuthenticatedKVStore.make_put(f"k{sequence}", f"v{sequence}"),
+        AuthenticatedKVStore.make_get("x"),
+        AuthenticatedKVStore.make_put("x", f"x{sequence}"),
+        AuthenticatedKVStore.make_get("x"),
+    ]
+
+
+def test_warm_replay_is_decision_identical_to_cold_execution():
+    clear()
+    try:
+        cold, warm = AuthenticatedKVStore(), AuthenticatedKVStore()
+        for sequence in (1, 2, 3):
+            seq, ops = _block(sequence)
+            cold_results = cold.execute_block(seq, ops)
+            warm_results = warm.execute_block(seq, ops)
+            assert warm_results == cold_results
+        assert stats()["misses"] == 3 and stats()["hits"] == 3
+
+        # Chain digests, journal records, proofs and raw contents all match.
+        assert warm.digest() == cold.digest()
+        assert warm.snapshot() == cold.snapshot()
+        for sequence in (1, 2, 3):
+            assert warm.digest_at(sequence) == cold.digest_at(sequence)
+            for position in range(4):
+                assert warm.prove(sequence, position) == cold.prove(sequence, position)
+                assert warm.result_for(sequence, position) == cold.result_for(sequence, position)
+        # Replayed proofs verify like executed ones.
+        proof = warm.prove(2, 1)
+        operation = _block(2)[1][1]
+        value = warm.result_for(2, 1).value
+        assert warm.verify(proof.digest, operation, value, 2, 1, proof)
+    finally:
+        clear()
+
+
+def test_direct_put_invalidates_fingerprint():
+    clear()
+    try:
+        first, diverged = AuthenticatedKVStore(), AuthenticatedKVStore()
+        seq, ops = _block(1)
+        first_results = first.execute_block(seq, ops)
+        assert first_results[1].value is None  # "x" unset at genesis
+
+        # Out-of-band write: same ops, same sequence, different pre-state.
+        diverged.put("x", "boom")
+        diverged_results = diverged.execute_block(seq, ops)
+        assert diverged_results[1].value == "boom"
+        assert stats() == {"hits": 0, "misses": 2, "size": 2}
+    finally:
+        clear()
+
+
+def test_direct_execute_invalidates_fingerprint():
+    clear()
+    try:
+        first, diverged = AuthenticatedKVStore(), AuthenticatedKVStore()
+        seq, ops = _block(1)
+        first.execute_block(seq, ops)
+
+        diverged.execute(AuthenticatedKVStore.make_put("x", "oob"))
+        diverged_results = diverged.execute_block(seq, ops)
+        assert diverged_results[1].value == "oob"
+        assert stats() == {"hits": 0, "misses": 2, "size": 2}
+    finally:
+        clear()
+
+
+def test_restore_invalidates_fingerprint_but_stays_identical():
+    clear()
+    try:
+        donor = AuthenticatedKVStore()
+        seq1, ops1 = _block(1)
+        donor.execute_block(seq1, ops1)
+
+        # A rejoining replica restores the donor's snapshot: equal state and
+        # chain, but its fingerprint anchor is the restore point — so it must
+        # re-execute (miss), never replay an entry fingerprinted at genesis.
+        rejoined = AuthenticatedKVStore()
+        rejoined.restore(donor.snapshot())
+        assert rejoined.digest() == donor.digest()
+        misses_before = stats()["misses"]
+
+        seq2, ops2 = _block(2)
+        donor_results = donor.execute_block(seq2, ops2)
+        rejoined_results = rejoined.execute_block(seq2, ops2)
+        assert stats()["misses"] == misses_before + 2
+        # Decision-identity still holds across the restore.
+        assert rejoined_results == donor_results
+        assert rejoined.digest() == donor.digest()
+        assert rejoined.snapshot() == donor.snapshot()
+    finally:
+        clear()
+
+
+# ----------------------------------------------------------------------
+# Crash-restart: a rejoining replica's state transfer lands on a cached
+# deployment (the restored store re-fingerprints instead of replaying stale
+# entries), and the run is byte-identical with the cache off.
+# ----------------------------------------------------------------------
+def _run_crash_restart(seed=0):
+    small = SWEEP_SCALES["small"]
+    scenario = SCENARIOS["crash-restart"]
+    plan = scenario.build_plan("sbft-c0", 4, 1, 0)
+    cluster = build_cluster(
+        "sbft-c0",
+        f=1,
+        num_clients=small.num_clients,
+        topology="continent",
+        batch_size=small.block_batch,
+        seed=seed,
+        fault_plan=plan,
+        config_overrides=dict(CONFIG_OVERRIDES),
+    )
+    workload = KVWorkload(
+        requests_per_client=small.requests_per_client, batch_size=small.kv_batch, seed=seed + 1
+    )
+    result = cluster.run(
+        workload,
+        max_sim_time=small.max_sim_time,
+        timeline_bucket=0.25,
+        fault_phase=(scenario.fault_start, scenario.fault_end),
+    )
+    return cluster, result
+
+
+def test_crash_restart_state_transfer_on_cached_deployment():
+    clear()
+    try:
+        cluster, result = _run_crash_restart()
+        cache_stats = stats()
+        assert cache_stats["misses"] > 0
+        assert cache_stats["hits"] > 0
+
+        restarted = cluster.replicas[3]
+        assert restarted.stats["state_transfers"] >= 1
+        digests = {replica.service.digest() for replica in cluster.replicas.values()}
+        assert len(digests) == 1, "restarted replica must re-sync to the cluster digest"
+        assert restarted.last_executed == cluster.replicas[0].last_executed
+        assert_agreement(cluster)
+
+        with_cache = (
+            {rid: dict(r.stats) for rid, r in cluster.replicas.items()},
+            digests.pop(),
+            result.events_processed,
+            result.network_messages,
+            result.network_bytes,
+            result.sim_time,
+        )
+    finally:
+        clear()
+
+    previous = set_enabled(False)
+    try:
+        cluster, result = _run_crash_restart()
+        without_cache = (
+            {rid: dict(r.stats) for rid, r in cluster.replicas.items()},
+            cluster.replicas[0].service.digest(),
+            result.events_processed,
+            result.network_messages,
+            result.network_bytes,
+            result.sim_time,
+        )
+    finally:
+        set_enabled(previous)
+        clear()
+
+    assert with_cache == without_cache
