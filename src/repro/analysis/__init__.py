@@ -8,7 +8,7 @@ package turns those prose rules into machine checks:
 * :mod:`repro.analysis.lint` — an AST-level linter (zero third-party
   dependencies) run as ``python -m repro.analysis.lint src/``.  Rules are
   catalogued in ``docs/static-analysis.md``; per-line suppressions use
-  ``# repro: allow[rule-id]`` comments.
+  ``# repro: allow[<rule-id>]`` comments.
 * :mod:`repro.analysis.sanitizer` — a runtime determinism sanitizer: an
   opt-in instrumentation mode (``REPRO_SANITIZE=1`` or
   ``Cluster.run(sanitize=True)``) that folds every executed event into a

@@ -40,16 +40,26 @@ invariants", ``docs/architecture.md``) into a machine check:
     Each sweep CLI's ``ROW_SCHEMA`` (rendered into its ``--help`` epilog)
     must list every key its rows actually emit, and must not document keys
     the rows never produce.
+``stale-suppression``
+    A ``# repro: allow[<rule>]`` comment naming an enabled rule that no
+    longer fires on that line is itself a finding, so the suppression
+    inventory cannot rot as the code underneath it changes.
 
-Findings may be suppressed per physical line with ``# repro: allow[rule]``
+Findings may be suppressed per physical line with ``# repro: allow[<rule>]``
 (comma-separate multiple rule ids).  ``--json`` emits a machine-readable
 report.  Exit status is 1 when any unsuppressed finding remains.
+
+The per-function source detectors (wall-clock/entropy reads, unordered
+iteration, memo impurity) are exported as ``iter_*_atoms`` generators so the
+interprocedural engine in :mod:`repro.analysis.flow` can reuse them as the
+atomic facts of its transitive taint analyses.
 """
 
 from __future__ import annotations
 
 import argparse
 import ast
+import hashlib
 import json
 import re
 import sys
@@ -64,16 +74,60 @@ from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tupl
 
 @dataclass(frozen=True)
 class Finding:
-    """One linter finding, addressable by rule id, file, and line."""
+    """One linter finding, addressable by rule id, file, and line.
+
+    ``id`` is content-derived (rule + file + the *text* of the flagged line +
+    message), so it survives unrelated line-number drift: CI artifacts diff
+    cleanly across runs and baseline files merge without renumbering.
+    """
 
     rule: str
     path: str
     line: int
     col: int
     message: str
+    id: str = ""
 
     def render(self) -> str:
         return f"{self.path}:{self.line}:{self.col}: {self.rule}: {self.message}"
+
+
+def content_finding_id(
+    tool: str, rule: str, path: str, line_text: str, message: str, occurrence: int = 0
+) -> str:
+    """A short stable id derived from finding *content*, not line numbers."""
+    basis = "\x1f".join((tool, rule, path, line_text.strip(), message, str(occurrence)))
+    return hashlib.sha256(basis.encode("utf-8")).hexdigest()[:12]
+
+
+def assign_finding_ids(
+    findings: Sequence[Finding], sources: Dict[str, Sequence[str]], tool: str = "lint"
+) -> List[Finding]:
+    """Return findings with content-derived ``id`` fields filled in.
+
+    ``sources`` maps display path -> source lines (for the flagged line's
+    text).  Identical (rule, path, text, message) tuples get an occurrence
+    counter so duplicates still receive distinct ids.
+    """
+    seen: Dict[str, int] = {}
+    out: List[Finding] = []
+    for finding in findings:
+        lines = sources.get(finding.path, ())
+        text = lines[finding.line - 1] if 0 < finding.line <= len(lines) else ""
+        base = content_finding_id(tool, finding.rule, finding.path, text, finding.message)
+        occurrence = seen.get(base, 0)
+        seen[base] = occurrence + 1
+        fid = (
+            base
+            if occurrence == 0
+            else content_finding_id(
+                tool, finding.rule, finding.path, text, finding.message, occurrence
+            )
+        )
+        out.append(
+            Finding(finding.rule, finding.path, finding.line, finding.col, finding.message, fid)
+        )
+    return out
 
 
 _ALLOW_RE = re.compile(r"#\s*repro:\s*allow\[([A-Za-z0-9_\-, ]+)\]")
@@ -239,58 +293,63 @@ _OS_FORBIDDEN = frozenset({"urandom", "getrandom"})
 _ENTROPY_MODULES = frozenset({"uuid", "secrets"})
 
 
-def check_no_wall_clock(module: Module) -> Iterator[Finding]:
-    if not module.deterministic:
-        return
+def iter_wall_clock_atoms(tree: ast.AST) -> Iterator[Tuple[ast.AST, str]]:
+    """Ambient time/entropy reads in ``tree`` as (node, message) atoms.
 
-    def finding(node: ast.AST, message: str) -> Finding:
-        return Finding("no-wall-clock", module.display, node.lineno, node.col_offset, message)
-
-    for node in ast.walk(module.tree):
+    This is the atomic fact ``check_no_wall_clock`` reports per module and
+    :mod:`repro.analysis.flow` propagates through the call graph (there the
+    tree is a single function body).
+    """
+    for node in ast.walk(tree):
         if isinstance(node, ast.Import):
             for alias in node.names:
                 root = alias.name.split(".")[0]
                 if root in _ENTROPY_MODULES:
-                    yield finding(node, f"import of entropy module '{root}' is forbidden here")
+                    yield node, f"import of entropy module '{root}' is forbidden here"
         elif isinstance(node, ast.ImportFrom):
             top = (node.module or "").split(".")[0]
             if top in _ENTROPY_MODULES:
-                yield finding(node, f"import from entropy module '{top}' is forbidden here")
+                yield node, f"import from entropy module '{top}' is forbidden here"
             elif top == "time":
                 for alias in node.names:
                     if alias.name in _TIME_FORBIDDEN:
-                        yield finding(node, f"wall-clock import 'time.{alias.name}'")
+                        yield node, f"wall-clock import 'time.{alias.name}'"
             elif top == "random":
                 for alias in node.names:
                     if alias.name != "Random":
-                        yield finding(
-                            node,
+                        yield node, (
                             f"module-level 'random.{alias.name}' import; draw from an "
-                            "injected seeded Random instead",
+                            "injected seeded Random instead"
                         )
             elif top == "os":
                 for alias in node.names:
                     if alias.name in _OS_FORBIDDEN:
-                        yield finding(node, f"ambient entropy 'os.{alias.name}'")
+                        yield node, f"ambient entropy 'os.{alias.name}'"
         elif isinstance(node, ast.Attribute):
             chain = _attr_chain(node)
             if not chain or len(chain) < 2:
                 continue
             root, attr = chain[0], chain[-1]
             if root == "time" and attr in _TIME_FORBIDDEN:
-                yield finding(node, f"wall-clock read 'time.{attr}'; use sim.now")
+                yield node, f"wall-clock read 'time.{attr}'; use sim.now"
             elif root in ("datetime", "date") and attr in _DATETIME_FORBIDDEN:
-                yield finding(node, f"wall-clock read '{'.'.join(chain)}'; use sim.now")
+                yield node, f"wall-clock read '{'.'.join(chain)}'; use sim.now"
             elif root == "os" and attr in _OS_FORBIDDEN:
-                yield finding(node, f"ambient entropy 'os.{attr}'; use a seeded Random")
+                yield node, f"ambient entropy 'os.{attr}'; use a seeded Random"
             elif root in _ENTROPY_MODULES:
-                yield finding(node, f"ambient entropy '{'.'.join(chain)}'")
+                yield node, f"ambient entropy '{'.'.join(chain)}'"
             elif root == "random" and len(chain) == 2 and attr != "Random":
-                yield finding(
-                    node,
+                yield node, (
                     f"module-level 'random.{attr}'; draw from an injected seeded "
-                    "Random instance instead",
+                    "Random instance instead"
                 )
+
+
+def check_no_wall_clock(module: Module) -> Iterator[Finding]:
+    if not module.deterministic:
+        return
+    for node, message in iter_wall_clock_atoms(module.tree):
+        yield Finding("no-wall-clock", module.display, node.lineno, node.col_offset, message)
 
 
 # --------------------------------------------------------------------------
@@ -472,10 +531,15 @@ def _collect_set_symbols(tree: ast.AST) -> Tuple[Set[str], Set[str]]:
     return names, attrs
 
 
-def check_ordered_iteration(module: Module) -> Iterator[Finding]:
-    if not module.deterministic:
-        return
-    names, attrs = _collect_set_symbols(module.tree)
+def iter_unordered_iteration_atoms(
+    tree: ast.AST, names: Set[str], attrs: Set[str]
+) -> Iterator[Tuple[ast.AST, str]]:
+    """Order-leaking set iterations in ``tree`` as (node, message) atoms.
+
+    ``names``/``attrs`` are the set-typed symbols of the *enclosing module*
+    (from :func:`_collect_set_symbols`); ``tree`` may be the module itself or
+    a single function body (the flow engine's per-function use).
+    """
 
     def is_set_ref(node: ast.AST) -> bool:
         if _is_set_expr(node):
@@ -495,31 +559,40 @@ def check_ordered_iteration(module: Module) -> Iterator[Finding]:
         except Exception:  # pragma: no cover - unparse failure is cosmetic
             return "<set>"
 
-    def finding(node: ast.AST) -> Finding:
-        return Finding(
-            "ordered-iteration",
-            module.display,
-            node.lineno,
-            node.col_offset,
+    def message(node: ast.AST) -> str:
+        # NB: the advice spells the comment without the leading '#' so this
+        # string literal itself never registers in a suppression table.
+        return (
             f"iteration over unordered '{describe(node)}'; wrap in sorted() or "
-            "add '# repro: allow[ordered-iteration]' with a determinism argument",
+            "add a 'repro: allow[ordered-iteration]' comment with a determinism "
+            "argument"
         )
 
-    for node in ast.walk(module.tree):
+    for node in ast.walk(tree):
         if isinstance(node, (ast.For, ast.AsyncFor)):
             if is_set_ref(node.iter):
-                yield finding(node.iter)
+                yield node.iter, message(node.iter)
         elif isinstance(node, (ast.ListComp, ast.GeneratorExp, ast.DictComp)):
             # Set comprehensions produce another unordered set, so iterating a
             # set inside one is harmless; list/generator/dict comprehensions
             # leak the iteration order (dicts preserve insertion order).
             for comp in node.generators:
                 if is_set_ref(comp.iter):
-                    yield finding(comp.iter)
+                    yield comp.iter, message(comp.iter)
         elif isinstance(node, ast.Call):
             name = _call_name(node)
             if name in _ORDER_SENSITIVE_CONSUMERS and node.args and is_set_ref(node.args[0]):
-                yield finding(node.args[0])
+                yield node.args[0], message(node.args[0])
+
+
+def check_ordered_iteration(module: Module) -> Iterator[Finding]:
+    if not module.deterministic:
+        return
+    names, attrs = _collect_set_symbols(module.tree)
+    for node, message in iter_unordered_iteration_atoms(module.tree, names, attrs):
+        yield Finding(
+            "ordered-iteration", module.display, node.lineno, node.col_offset, message
+        )
 
 
 # --------------------------------------------------------------------------
@@ -549,6 +622,41 @@ def _touches_memo_table(func: ast.AST) -> bool:
     return False
 
 
+def iter_impurity_atoms(tree: ast.AST) -> Iterator[Tuple[ast.AST, str]]:
+    """Simulated-clock / RNG reads in ``tree`` as (node, message) atoms.
+
+    These are the sources of the linter's intra-function ``memo-purity`` rule
+    and of the flow engine's transitive ``memo-taint`` analysis: values that
+    are deterministic per run but *replica- or time-dependent*, so they must
+    never feed a deployment-shared memo or stash.
+    """
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Attribute):
+            chain = _attr_chain(node)
+            if chain is None:
+                continue
+            if node.attr == "now" and any(part in ("sim", "_sim") for part in chain[:-1]):
+                yield node, "reads the simulated clock (sim.now)"
+            elif node.attr in ("rng", "_rng"):
+                yield node, "reads an RNG; memo keys must be pure"
+            elif chain[0] == "random" and len(chain) == 2 and node.attr != "Random":
+                yield node, f"draws from module-level random.{node.attr}"
+            elif chain[0] == "time" and node.attr in _TIME_FORBIDDEN:
+                yield node, f"reads wall clock time.{node.attr}"
+        elif isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute):
+            receiver = node.func.value
+            if isinstance(receiver, ast.Name) and receiver.id in ("rng", "_rng"):
+                yield node, "draws from an RNG; memo keys must be pure"
+        elif isinstance(node, (ast.Global, ast.Nonlocal)):
+            impure = [name for name in node.names if "memo" not in name.lower()]
+            if impure:
+                yield node, (
+                    f"rebinds {'/'.join(impure)} via "
+                    f"{'global' if isinstance(node, ast.Global) else 'nonlocal'}; "
+                    "mutable non-memo state breaks purity"
+                )
+
+
 def check_memo_purity(module: Module) -> Iterator[Finding]:
     if not module.deterministic:
         return
@@ -557,42 +665,14 @@ def check_memo_purity(module: Module) -> Iterator[Finding]:
             continue
         if not _touches_memo_table(func):
             continue
-
-        def finding(node: ast.AST, message: str) -> Finding:
-            return Finding(
+        for node, message in iter_impurity_atoms(func):
+            yield Finding(
                 "memo-purity",
                 module.display,
                 node.lineno,
                 node.col_offset,
                 f"memoized function {func.name} {message}",
             )
-
-        for node in ast.walk(func):
-            if isinstance(node, ast.Attribute):
-                chain = _attr_chain(node)
-                if chain is None:
-                    continue
-                if node.attr == "now" and any(part in ("sim", "_sim") for part in chain[:-1]):
-                    yield finding(node, "reads the simulated clock (sim.now)")
-                elif node.attr in ("rng", "_rng"):
-                    yield finding(node, "reads an RNG; memo keys must be pure")
-                elif chain[0] == "random" and len(chain) == 2 and node.attr != "Random":
-                    yield finding(node, f"draws from module-level random.{node.attr}")
-                elif chain[0] == "time" and node.attr in _TIME_FORBIDDEN:
-                    yield finding(node, f"reads wall clock time.{node.attr}")
-            elif isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute):
-                receiver = node.func.value
-                if isinstance(receiver, ast.Name) and receiver.id in ("rng", "_rng"):
-                    yield finding(node, "draws from an RNG; memo keys must be pure")
-            elif isinstance(node, (ast.Global, ast.Nonlocal)):
-                impure = [name for name in node.names if "memo" not in name.lower()]
-                if impure:
-                    yield finding(
-                        node,
-                        f"rebinds {'/'.join(impure)} via "
-                        f"{'global' if isinstance(node, ast.Global) else 'nonlocal'}; "
-                        "mutable non-memo state breaks purity",
-                    )
 
 
 # --------------------------------------------------------------------------
@@ -730,6 +810,141 @@ def _table_keys(cls: ast.ClassDef, attr: str) -> Optional[Tuple[Set[str], int]]:
     return None
 
 
+#: Heal must undo what slow/partition/isolate did.  Marker = an attribute the
+#: ``_heal`` method must assign (slow) or a method it must call (network kinds).
+_HEAL_UNDO_MARKERS = {
+    "slow": ("assign", "speed_factor"),
+    "partition": ("call", "set_link_up"),
+    "isolate": ("call", "reconnect"),
+}
+
+
+def _string_tuple_assign(tree: ast.Module, name: str) -> Optional[Tuple[Tuple[str, ...], int]]:
+    """Module-level ``NAME = ("a", "b", ...)`` -> (strings, lineno)."""
+    for node in tree.body:
+        if not (isinstance(node, ast.Assign) and len(node.targets) == 1):
+            continue
+        target = node.targets[0]
+        if not (isinstance(target, ast.Name) and target.id == name):
+            continue
+        if isinstance(node.value, (ast.Tuple, ast.List)):
+            values = []
+            for elt in node.value.elts:
+                if isinstance(elt, ast.Constant) and isinstance(elt.value, str):
+                    values.append(elt.value)
+            return tuple(values), node.lineno
+    return None
+
+
+def _kind_branches(func: ast.FunctionDef) -> Set[str]:
+    """Fault-kind strings compared against ``spec.kind`` anywhere in ``func``."""
+    kinds: Set[str] = set()
+    for node in ast.walk(func):
+        if not isinstance(node, ast.Compare):
+            continue
+        operands = [node.left, *node.comparators]
+        if not any(
+            isinstance(operand, ast.Attribute) and operand.attr == "kind"
+            for operand in operands
+        ):
+            continue
+        for operand in operands:
+            if isinstance(operand, ast.Constant) and isinstance(operand.value, str):
+                kinds.add(operand.value)
+            elif isinstance(operand, (ast.Tuple, ast.List, ast.Set)):
+                for elt in operand.elts:
+                    if isinstance(elt, ast.Constant) and isinstance(elt.value, str):
+                        kinds.add(elt.value)
+    return kinds
+
+
+def _heal_markers(func: ast.FunctionDef) -> Tuple[Set[str], Set[str]]:
+    """-> (attribute names assigned, method names called) inside ``func``."""
+    assigned: Set[str] = set()
+    called: Set[str] = set()
+    for node in ast.walk(func):
+        if isinstance(node, ast.Assign):
+            for target in node.targets:
+                if isinstance(target, ast.Attribute):
+                    assigned.add(target.attr)
+        elif isinstance(node, ast.AugAssign) and isinstance(node.target, ast.Attribute):
+            assigned.add(node.target.attr)
+        elif isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute):
+            called.add(node.func.attr)
+    return assigned, called
+
+
+def _check_fault_dispatch(module: Module) -> Iterator[Finding]:
+    """Every ``FAULT_KINDS`` entry needs an ``_activate`` branch + heal undo.
+
+    Applies to any module that declares a module-level ``FAULT_KINDS`` string
+    tuple and an injector class with an ``_activate`` method (the real
+    injector in ``repro/sim/faults.py``, or a planted fixture).
+    """
+    kinds_assign = _string_tuple_assign(module.tree, "FAULT_KINDS")
+    if kinds_assign is None:
+        return
+    fault_kinds, kinds_line = kinds_assign
+    for cls in module.tree.body:
+        if not isinstance(cls, ast.ClassDef):
+            continue
+        activate = next(
+            (
+                stmt
+                for stmt in cls.body
+                if isinstance(stmt, ast.FunctionDef) and stmt.name == "_activate"
+            ),
+            None,
+        )
+        if activate is None:
+            continue
+        handled = _kind_branches(activate)
+        for missing in sorted(set(fault_kinds) - handled):
+            yield Finding(
+                "dispatch-complete",
+                module.display,
+                activate.lineno,
+                activate.col_offset,
+                f"fault kind '{missing}' from FAULT_KINDS has no apply branch "
+                f"in {cls.name}._activate",
+            )
+        healable = [kind for kind in fault_kinds if kind in _HEAL_UNDO_MARKERS]
+        if not healable:
+            continue
+        heal = next(
+            (
+                stmt
+                for stmt in cls.body
+                if isinstance(stmt, ast.FunctionDef) and stmt.name == "_heal"
+            ),
+            None,
+        )
+        if heal is None:
+            yield Finding(
+                "dispatch-complete",
+                module.display,
+                kinds_line,
+                0,
+                f"{cls.name} has healable fault kinds "
+                f"({', '.join(sorted(healable))}) but no _heal method",
+            )
+            continue
+        assigned, called = _heal_markers(heal)
+        for kind in sorted(healable):
+            marker_kind, marker = _HEAL_UNDO_MARKERS[kind]
+            present = marker in (assigned if marker_kind == "assign" else called)
+            if not present:
+                verb = "assign attribute" if marker_kind == "assign" else "call"
+                yield Finding(
+                    "dispatch-complete",
+                    module.display,
+                    heal.lineno,
+                    heal.col_offset,
+                    f"fault kind '{kind}' has no heal counterpart: "
+                    f"{cls.name}._heal must {verb} '{marker}' to undo it",
+                )
+
+
 _REPLICA_SPECS = (
     {
         "class": "SBFTReplica",
@@ -747,6 +962,9 @@ _REPLICA_SPECS = (
 
 
 def check_dispatch_complete(modules: Sequence[Module]) -> Iterator[Finding]:
+    for module in modules:
+        yield from _check_fault_dispatch(module)
+
     by_suffix: Dict[str, Module] = {}
     for module in modules:
         for suffix in (
@@ -983,7 +1201,41 @@ PROJECT_RULES = {
     "dispatch-complete": check_dispatch_complete,
     "cli-schema-sync": check_cli_schema_sync,
 }
-ALL_RULES = tuple(sorted(list(MODULE_RULES) + list(PROJECT_RULES)))
+#: ``stale-suppression`` is a meta rule over the other rules' results, so it
+#: lives in neither table; it is enabled by default like every other rule.
+ALL_RULES = tuple(sorted(list(MODULE_RULES) + list(PROJECT_RULES) + ["stale-suppression"]))
+
+
+def stale_suppression_findings(
+    modules: Sequence[Module],
+    raw_findings: Sequence[Finding],
+    enabled: Set[str],
+    known_rules: Iterable[str],
+) -> List[Finding]:
+    """Allow comments naming an enabled rule that did not fire on that line.
+
+    Shared with :mod:`repro.analysis.flow`: each tool checks only the rule
+    ids it owns (``known_rules``), so a lint run never flags a flow-analysis
+    suppression as stale and vice versa.
+    """
+    fired = {(finding.path, finding.line, finding.rule) for finding in raw_findings}
+    checkable = set(known_rules) & enabled - {"stale-suppression"}
+    stale: List[Finding] = []
+    for module in modules:
+        for line, allowed in sorted(module.allows.items()):
+            for rule in sorted(allowed & checkable):
+                if (module.display, line, rule) not in fired:
+                    stale.append(
+                        Finding(
+                            "stale-suppression",
+                            module.display,
+                            line,
+                            0,
+                            f"suppression 'repro: allow[{rule}]' is stale: "
+                            f"rule {rule} no longer fires on this line",
+                        )
+                    )
+    return stale
 
 
 def run_lint(
@@ -1006,6 +1258,12 @@ def run_lint(
     for name in sorted(PROJECT_RULES):
         if name in enabled:
             findings.extend(PROJECT_RULES[name](modules))
+    if "stale-suppression" in enabled:
+        findings.extend(
+            stale_suppression_findings(
+                modules, findings, enabled, list(MODULE_RULES) + list(PROJECT_RULES)
+            )
+        )
 
     allow_tables = {module.display: module.allows for module in modules}
     kept: List[Finding] = []
@@ -1017,7 +1275,10 @@ def run_lint(
         else:
             kept.append(finding)
     kept.sort(key=lambda f: (f.path, f.line, f.col, f.rule, f.message))
-    return kept, suppressed
+    sources: Dict[str, Sequence[str]] = {
+        module.display: module.source.splitlines() for module in modules
+    }
+    return assign_finding_ids(kept, sources), suppressed
 
 
 def report_json(findings: Sequence[Finding], suppressed: int) -> str:
@@ -1025,6 +1286,9 @@ def report_json(findings: Sequence[Finding], suppressed: int) -> str:
         {
             "findings": [asdict(f) for f in findings],
             "suppressed": suppressed,
+            "stale_suppressions": sum(
+                1 for finding in findings if finding.rule == "stale-suppression"
+            ),
             "rules": list(ALL_RULES),
         },
         indent=2,

@@ -78,7 +78,7 @@ from repro.sim.network import Network
 from repro.sim.process import Process
 
 
-def block_execution_plan(pre_prepare, service, costs) -> Tuple[List[Operation], float]:
+def block_execution_plan(pre_prepare, service, costs) -> Tuple[Tuple[Operation, ...], float]:
     """Flattened operations and total simulated execution cost of a block.
 
     The same frozen ``PrePrepare`` object reaches every replica, and the cost
@@ -92,11 +92,15 @@ def block_execution_plan(pre_prepare, service, costs) -> Tuple[List[Operation], 
     service_type = type(service)
     if memo is not None and memo[0] is service_type and memo[1] is costs:
         return memo[2], memo[3]
-    operations: List[Operation] = []
+    flattened: List[Operation] = []
     for request in pre_prepare.requests:
-        operations.extend(request.operations)
-    cost = sum(service.execution_cost(op) for op in operations)
-    cost += costs.hash_op * max(1, len(operations))
+        flattened.extend(request.operations)
+    cost = sum(service.execution_cost(op) for op in flattened)
+    cost += costs.hash_op * max(1, len(flattened))
+    # Freeze before stashing: the stashed plan is shared by every replica
+    # that sees this message, so a consumer mutating its copy must not be
+    # able to corrupt the cluster-wide entry.
+    operations = tuple(flattened)
     object.__setattr__(pre_prepare, "_exec_plan", (service_type, costs, operations, cost))
     return operations, cost
 

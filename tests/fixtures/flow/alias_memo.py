@@ -1,0 +1,42 @@
+"""Planted shared-alias hazards: memo entries aliasing mutable state.
+
+``_PLAN_MEMO`` is a module-level memo table, so everything stored in it is
+deployment-shared.  All three ``Planner`` methods leak mutable aliases into
+it, in the three shapes the ``shared-alias`` analysis distinguishes:
+
+* ``plan`` stores a local that aliases ``self.pending`` (mutable
+  replica-local state) — the next ``queue()`` call on *this* replica
+  silently edits the deployment-shared entry.
+* ``plan_direct`` stores ``self.pending`` itself.
+* ``build`` stores a locally-built list and also returns it to the caller,
+  so any consumer mutation corrupts the shared entry.
+"""
+
+_PLAN_MEMO = {}
+
+
+class Planner:
+    def __init__(self):
+        self.pending = []
+
+    def queue(self, item):
+        self.pending.append(item)
+
+    def plan(self, key):
+        cached = _PLAN_MEMO.get(key)
+        if cached is not None:
+            return cached
+        plan = self.pending
+        _PLAN_MEMO[key] = plan  # PLANT: shared-alias
+        return plan
+
+    def plan_direct(self, key):
+        _PLAN_MEMO[key] = self.pending  # PLANT: shared-alias
+        return _PLAN_MEMO[key]
+
+    def build(self, key):
+        steps = []
+        for item in self.pending:
+            steps.append((key, item))
+        _PLAN_MEMO[key] = steps  # PLANT: shared-alias
+        return steps

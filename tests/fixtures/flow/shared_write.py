@@ -1,0 +1,40 @@
+"""Planted deployment-shared state escapes.
+
+``Scheme`` is marked ``DEPLOYMENT_SHARED`` (one instance serves every
+replica, like ``ThresholdScheme``), so the ``shared-state-write`` analysis
+holds all mutations of it to the shared-state rules:
+
+* ``Scheme.verify`` inserts into its memo with no clear-on-limit guard —
+  an unbounded deployment-wide table.
+* ``Replica.reset`` reaches into the shared instance's memo from another
+  class entirely.
+* ``Replica.bump`` rebinds a shared instance attribute after construction,
+  which every replica in the deployment would observe.
+"""
+
+
+class Scheme:
+    DEPLOYMENT_SHARED = True
+
+    def __init__(self):
+        self._verify_memo = {}
+        self.epoch = 0
+
+    def verify(self, key, value):
+        cached = self._verify_memo.get(key)
+        if cached is not None:
+            return cached
+        result = value * 2
+        self._verify_memo[key] = result  # PLANT: shared-state-write
+        return result
+
+
+class Replica:
+    def __init__(self, scheme: Scheme):
+        self.scheme = scheme
+
+    def reset(self):
+        self.scheme._verify_memo.clear()  # PLANT: shared-state-write
+
+    def bump(self):
+        self.scheme.epoch += 1  # PLANT: shared-state-write

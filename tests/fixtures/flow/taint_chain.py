@@ -1,0 +1,36 @@
+"""Planted transitive nondeterminism: handler -> helper -> helper -> clock.
+
+``MiniReplica._on_ping`` is a message handler (registered in the
+``_handlers`` dispatch table) and never touches a clock itself — the
+wall-clock read is laundered through two module-level helpers, so only the
+interprocedural ``nondeterministic-taint`` analysis can connect them.  The
+expected call chain is
+
+    _on_ping -> helper_a -> helper_b -> time.time()
+
+i.e. a 4-entry chain (three function hops plus the source atom).
+"""
+
+import time
+
+
+class MiniReplica:
+    def __init__(self):
+        self._handlers = {
+            "ping": self._on_ping,
+        }
+
+    def on_message(self, kind, payload):
+        self._handlers[kind](payload)
+
+    def _on_ping(self, payload):
+        return helper_a(payload)
+
+
+def helper_a(payload):
+    return helper_b(payload)
+
+
+def helper_b(payload):
+    del payload
+    return time.time()  # PLANT: nondeterministic-taint

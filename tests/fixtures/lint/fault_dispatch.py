@@ -1,0 +1,25 @@
+"""Planted dispatch-complete violations for the fault-injector extension.
+
+``FAULT_KINDS`` declares a kind (``pause``) with no apply branch in
+``_activate``, and the healable ``slow`` kind is never undone in ``_heal``
+(the pre-fault ``speed_factor`` is popped but not restored).
+"""
+
+FAULT_KINDS = ("crash", "slow", "pause")
+
+
+class Injector:
+    def __init__(self, replicas):
+        self.replicas = replicas
+        self._original_speed = {}
+
+    def _activate(self, spec):  # PLANT: dispatch-complete
+        replica = self.replicas[spec.replica_id]
+        if spec.kind == "crash":
+            replica.crash()
+        elif spec.kind == "slow":
+            self._original_speed.setdefault(spec.replica_id, replica.speed_factor)
+            replica.speed_factor *= spec.slow_factor
+
+    def _heal(self, replica_id):  # PLANT: dispatch-complete
+        self._original_speed.pop(replica_id, None)

@@ -1,0 +1,10 @@
+"""Planted stale suppression: the allowed rule does not fire on that line.
+
+The ``allow[no-wall-clock]`` comment below suppresses nothing — the line is
+pure arithmetic — so the suppression inventory has rotted and the
+``stale-suppression`` meta rule must flag it.
+"""
+
+
+def backoff(base: float) -> float:
+    return base * 2.0  # repro: allow[no-wall-clock]  # PLANT: stale-suppression

@@ -41,6 +41,8 @@ def planted_violations(path: Path):
         "ordered_iteration.py",
         "memo_purity.py",
         "bounded_memo.py",
+        "stale_suppression.py",
+        "fault_dispatch.py",
     ],
 )
 def test_planted_violations_reported_at_exact_lines(fixture):
@@ -68,12 +70,21 @@ def test_json_report_carries_rule_file_line(tmp_path, capsys):
     report = json.loads(report_path.read_text())
     assert report["suppressed"] == 1
     assert sorted(report["rules"]) == sorted(ALL_RULES)
+    # Exactly the planted stale suppression (stale_suppression.py fixture).
+    assert report["stale_suppressions"] == 1
     findings = report["findings"]
     assert findings, "expected planted findings in the JSON report"
     for finding in findings:
-        assert set(finding) == {"rule", "path", "line", "col", "message"}
+        assert set(finding) == {"rule", "path", "line", "col", "message", "id"}
         assert finding["rule"] in ALL_RULES
         assert finding["line"] >= 1
+        assert re.fullmatch(r"[0-9a-f]{12}", finding["id"])
+    # Content-derived ids are unique within a report and stable across runs.
+    ids = [f["id"] for f in findings]
+    assert len(set(ids)) == len(ids)
+    rerun_path = report_path.with_name("rerun.json")
+    assert lint_main([str(FIXTURES), "--json", str(rerun_path)]) == 1
+    assert json.loads(rerun_path.read_text())["findings"] == findings
     planted = {
         (path.name, line, rule)
         for path in FIXTURES.glob("*.py")
@@ -149,6 +160,66 @@ def test_dispatch_complete_fails_when_pbft_handler_removed(tmp_path):
     assert len(findings) == 1
     assert findings[0].path.endswith("repro/pbft/replica.py")
     assert "PbftCommit" in findings[0].message and "_handlers" in findings[0].message
+
+
+def test_dispatch_complete_fails_when_fault_apply_branch_removed(tmp_path):
+    root = _mutated_tree(
+        tmp_path,
+        "sim/faults.py",
+        '        elif spec.kind == "isolate":\n'
+        "            self.network.isolate(spec.replica_id)\n",
+    )
+    findings, _ = run_lint([root], rules=["dispatch-complete"])
+    assert len(findings) == 1
+    assert findings[0].path.endswith("repro/sim/faults.py")
+    assert "'isolate'" in findings[0].message and "_activate" in findings[0].message
+
+
+def test_dispatch_complete_fails_when_heal_counterpart_removed(tmp_path):
+    root = _mutated_tree(
+        tmp_path, "sim/faults.py", "            self.network.reconnect(replica_id)\n"
+    )
+    findings, _ = run_lint([root], rules=["dispatch-complete"])
+    assert len(findings) == 1
+    assert "'isolate'" in findings[0].message and "heal counterpart" in findings[0].message
+
+
+# ---------------------------------------------------------------------------
+# stale-suppression and content-derived finding ids
+# ---------------------------------------------------------------------------
+
+
+def test_stale_suppression_flags_rotted_allow_in_mutated_tree(tmp_path):
+    # Plant a fresh allow comment on a src line where nothing fires.
+    root = _mutated_tree(
+        tmp_path,
+        "core/config.py",
+        "from __future__ import annotations\n",
+        "from __future__ import annotations\n\n"
+        "_UNUSED = 1  # repro: " "allow[no-wall-clock]\n",
+    )
+    findings, _ = run_lint([root], rules=["no-wall-clock", "stale-suppression"])
+    assert [f.rule for f in findings] == ["stale-suppression"]
+    assert "no-wall-clock" in findings[0].message
+
+
+def test_stale_suppression_respects_enabled_rules():
+    path = FIXTURES / "stale_suppression.py"
+    # The allowed rule (no-wall-clock) is not enabled, so its absence on the
+    # line proves nothing and the suppression must not be called stale.
+    findings, _ = run_lint([path], rules=["stale-suppression", "frozen-messages"])
+    assert findings == []
+
+
+def test_finding_ids_survive_line_drift(tmp_path):
+    target = tmp_path / "drift.py"
+    body = (FIXTURES / "wall_clock.py").read_text()
+    target.write_text(body)
+    before, _ = run_lint([target])
+    target.write_text("# comment\n# comment\n# comment\n" + body)
+    after, _ = run_lint([target])
+    assert [f.id for f in before] == [f.id for f in after]
+    assert [f.line + 3 for f in before] == [f.line for f in after]
 
 
 # ---------------------------------------------------------------------------
