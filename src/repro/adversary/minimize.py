@@ -1,0 +1,103 @@
+"""Delta-debugging minimizer for violating episodes.
+
+A violating :class:`~repro.adversary.lab.EpisodeSpec` found by the search
+harness usually carries more parameters than the bug needs.  The minimizer
+shrinks it along two axes, re-running the episode after every candidate edit
+and keeping only edits that still reproduce:
+
+1. **Drop** — reset each non-default parameter back to its strategy default
+   (ddmin over the non-default set, largest chunks first).
+2. **Shrink** — walk each surviving parameter's value leftward through its
+   ``PARAM_SPACE`` candidate tuple (candidates are ordered benign-first, so
+   "leftward" means "more benign").
+
+The result is the smallest reproducing ``(strategy, params, seed)`` triple in
+that order: fewest non-default parameters, then earliest candidates.  Both
+passes are deterministic — no randomness, iteration in sorted parameter
+order — so a minimized spec is stable across runs and safe to commit to
+``tests/adversary_corpus/``.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List
+
+from repro.adversary.lab import EpisodeSpec
+from repro.adversary.strategies import get_strategy
+
+Reproduces = Callable[[EpisodeSpec], bool]
+
+
+def non_default_params(spec: EpisodeSpec) -> Dict[str, Any]:
+    """The parameters of ``spec`` that differ from the strategy defaults."""
+    strategy_cls = get_strategy(spec.strategy)
+    defaults = {name: space[0] for name, space in strategy_cls.PARAM_SPACE.items()}
+    return {
+        name: value for name, value in spec.params if defaults.get(name, value) != value
+    }
+
+
+def _with_subset(spec: EpisodeSpec, keep: List[str], full: Dict[str, Any]) -> EpisodeSpec:
+    return spec.with_params({name: full[name] for name in keep})
+
+
+def _ddmin_drop(spec: EpisodeSpec, reproduces: Reproduces) -> EpisodeSpec:
+    """Classic ddmin over the non-default parameter *set*."""
+    full = non_default_params(spec)
+    keep = sorted(full)
+    spec = _with_subset(spec, keep, full)  # canonicalize: defaults drop out
+    chunks = 2
+    while len(keep) >= 1 and chunks <= max(2, len(keep)):
+        size = max(1, len(keep) // chunks)
+        reduced = False
+        for offset in range(0, len(keep), size):
+            candidate_names = keep[:offset] + keep[offset + size :]
+            candidate = _with_subset(spec, candidate_names, full)
+            if reproduces(candidate):
+                keep = candidate_names
+                spec = candidate
+                chunks = max(2, chunks - 1)
+                reduced = True
+                break
+        if not reduced:
+            if size == 1:
+                break
+            chunks = min(len(keep), chunks * 2)
+    return spec
+
+
+def _shrink_values(spec: EpisodeSpec, reproduces: Reproduces) -> EpisodeSpec:
+    """Move each surviving value as far toward the benign default as possible."""
+    strategy_cls = get_strategy(spec.strategy)
+    params = dict(spec.params)
+    for name in sorted(params):
+        space = strategy_cls.PARAM_SPACE.get(name, ())
+        current = params[name]
+        if current not in space:
+            continue  # hand-written value outside the sampled space: keep it
+        for candidate_value in space[: space.index(current)]:
+            trial = dict(params)
+            trial[name] = candidate_value
+            candidate = spec.with_params(trial)
+            if reproduces(candidate):
+                params = trial
+                spec = candidate
+                break
+    return spec
+
+
+def minimize(spec: EpisodeSpec, reproduces: Reproduces) -> EpisodeSpec:
+    """Smallest reproducing variant of ``spec`` under ``reproduces``.
+
+    ``reproduces`` must be a pure predicate (typically "re-run the episode
+    and check the same oracle still fails").  The input spec itself must
+    reproduce; otherwise it is returned unchanged.
+    """
+    if not reproduces(spec):
+        return spec
+    while True:
+        before = spec.params
+        spec = _ddmin_drop(spec, reproduces)
+        spec = _shrink_values(spec, reproduces)
+        if spec.params == before:
+            return spec

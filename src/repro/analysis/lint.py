@@ -139,6 +139,7 @@ _ALLOW_RE = re.compile(r"#\s*repro:\s*allow\[([A-Za-z0-9_\-, ]+)\]")
 DETERMINISTIC_PACKAGES = frozenset(
     {
         "",
+        "adversary",
         "analysis",
         "core",
         "crypto",
@@ -945,6 +946,90 @@ def _check_fault_dispatch(module: Module) -> Iterator[Finding]:
                 )
 
 
+def _check_strategy_registry(module: Module) -> Iterator[Finding]:
+    """``STRATEGY_KINDS``, the ``STRATEGIES`` registry and the strategy
+    classes' ``KIND`` attributes must agree.
+
+    Applies to any module declaring both a module-level ``STRATEGY_KINDS``
+    string tuple and a ``STRATEGIES`` dict literal (the real registry in
+    ``repro/adversary/strategies.py``, or a planted fixture).  A kind that
+    falls out of the registry silently falls out of the search space, which
+    is exactly the quiet coverage loss this rule exists to catch.
+    """
+    kinds_assign = _string_tuple_assign(module.tree, "STRATEGY_KINDS")
+    if kinds_assign is None:
+        return
+    kinds, kinds_line = kinds_assign
+
+    registry: Optional[Tuple[Set[str], int]] = None
+    for node in module.tree.body:
+        if isinstance(node, ast.Assign):
+            targets, value = node.targets, node.value
+        elif isinstance(node, ast.AnnAssign) and node.value is not None:
+            targets, value = [node.target], node.value
+        else:
+            continue
+        if not any(isinstance(t, ast.Name) and t.id == "STRATEGIES" for t in targets):
+            continue
+        if isinstance(value, ast.Dict):
+            registry = ({key for key, _ in _dict_str_keys(value)}, value.lineno)
+    if registry is None:
+        yield Finding(
+            "dispatch-complete",
+            module.display,
+            kinds_line,
+            0,
+            "STRATEGY_KINDS is declared but no STRATEGIES dict literal "
+            "registers the strategy classes",
+        )
+        return
+    registered, registry_line = registry
+
+    for missing in sorted(set(kinds) - registered):
+        yield Finding(
+            "dispatch-complete",
+            module.display,
+            registry_line,
+            0,
+            f"strategy kind '{missing}' from STRATEGY_KINDS is not registered "
+            "in STRATEGIES (it would silently drop out of the search space)",
+        )
+    for extra in sorted(registered - set(kinds)):
+        yield Finding(
+            "dispatch-complete",
+            module.display,
+            kinds_line,
+            0,
+            f"STRATEGIES registers '{extra}' but STRATEGY_KINDS does not list "
+            "it (catalog and registry disagree)",
+        )
+
+    # Every concrete strategy class (a KIND other than the abstract base's)
+    # must be reachable through the registry.
+    for cls in module.tree.body:
+        if not isinstance(cls, ast.ClassDef):
+            continue
+        for stmt in cls.body:
+            if (
+                isinstance(stmt, ast.Assign)
+                and len(stmt.targets) == 1
+                and isinstance(stmt.targets[0], ast.Name)
+                and stmt.targets[0].id == "KIND"
+                and isinstance(stmt.value, ast.Constant)
+                and isinstance(stmt.value.value, str)
+                and stmt.value.value != "abstract"
+                and stmt.value.value not in registered
+            ):
+                yield Finding(
+                    "dispatch-complete",
+                    module.display,
+                    stmt.lineno,
+                    stmt.col_offset,
+                    f"strategy class {cls.name} declares KIND "
+                    f"'{stmt.value.value}' but is not registered in STRATEGIES",
+                )
+
+
 _REPLICA_SPECS = (
     {
         "class": "SBFTReplica",
@@ -964,6 +1049,7 @@ _REPLICA_SPECS = (
 def check_dispatch_complete(modules: Sequence[Module]) -> Iterator[Finding]:
     for module in modules:
         yield from _check_fault_dispatch(module)
+        yield from _check_strategy_registry(module)
 
     by_suffix: Dict[str, Module] = {}
     for module in modules:
@@ -1090,7 +1176,10 @@ def check_cli_schema_sync(modules: Sequence[Module]) -> Iterator[Finding]:
             harness = module
         elif module.suffix_is("repro/metrics/collector.py"):
             collector = module
-        elif "/experiments/" in module.path.as_posix():
+        elif "/experiments/" in module.path.as_posix() or "/adversary/" in module.path.as_posix():
+            # The adversary search CLI follows the sweep conventions
+            # (ROW_SCHEMA + _sweep_point_worker), so it is held to the same
+            # schema-sync contract as the experiments package.
             sweeps.append(module)
     if harness is None or collector is None:
         return

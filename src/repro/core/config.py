@@ -61,6 +61,12 @@ class SBFTConfig:
     # Cryptography behaviour.
     use_group_signature_fast_path: bool = True  # n-out-of-n aggregate when no failure seen
 
+    # Test-only planted weakness for the adversary lab (repro.adversary):
+    # overrides the linear-PBFT prepare/commit quorum (tau_threshold and the
+    # PBFT replica quorum) with a too-small value so the strategy search has
+    # a real safety violation to find.  Never set outside adversary episodes.
+    unsafe_quorum_override: Optional[int] = None
+
     def __post_init__(self):
         if self.f < 0 or self.c < 0:
             raise ConfigurationError("f and c must be non-negative")
@@ -78,6 +84,8 @@ class SBFTConfig:
             raise ConfigurationError("client_max_outstanding must be >= 1")
         if self.window < 4:
             raise ConfigurationError("window must be >= 4")
+        if self.unsafe_quorum_override is not None and self.unsafe_quorum_override < 1:
+            raise ConfigurationError("unsafe_quorum_override must be >= 1")
 
     # ------------------------------------------------------------------
     # Derived sizes (Section II / V)
@@ -94,7 +102,13 @@ class SBFTConfig:
 
     @property
     def tau_threshold(self) -> int:
-        """Linear-PBFT prepare/commit threshold, ``2f + c + 1``."""
+        """Linear-PBFT prepare/commit threshold, ``2f + c + 1``.
+
+        ``unsafe_quorum_override`` (a test-only adversary-lab knob) replaces
+        the sound threshold when set; see the field comment above.
+        """
+        if self.unsafe_quorum_override is not None:
+            return self.unsafe_quorum_override
         return 2 * self.f + self.c + 1
 
     @property

@@ -216,6 +216,14 @@ class SBFTReplica(Process):
         # Fault-injection behaviour (None = honest).
         self.byzantine_mode: Optional[str] = None
 
+        # Adversary-lab hook: called as ``observer(node_id, sequence,
+        # block_digest)`` after each block executes (None = no observer).
+        # The safety oracle in repro.adversary compares the *block* digest
+        # across replicas — state digests are node-salted for services that
+        # do not authenticate state, so they are useless for cross-replica
+        # agreement checks.
+        self.execution_observer: Optional[Any] = None
+
         # Cached broadcast destination lists (the peer set is fixed for the
         # lifetime of the cluster; rebuilding a range per message was pure
         # hot-path garbage at n=193).
@@ -516,12 +524,20 @@ class SBFTReplica(Process):
     def _equivocate_pre_prepare(
         self, sequence: int, requests: Tuple[ClientRequest, ...], signature: Any
     ) -> None:
-        """Byzantine primary: send conflicting blocks to odd/even replicas."""
+        """Byzantine primary: send conflicting blocks to odd/even replicas.
+
+        Both conflicting pre-prepares carry valid primary signatures over
+        their own digests — the equivocation has to survive per-message
+        signature checks, and the forensics layer relies on the pair of
+        validly signed conflicts as cryptographic evidence of misbehaviour.
+        """
         digest_a = block_digest(sequence, self.view, [r.request_id for r in requests])
         reversed_requests = tuple(reversed(requests))
         digest_b = block_digest(sequence, self.view, [r.request_id for r in reversed_requests])
+        self.charge_cpu(self.costs.hash_op + self.costs.rsa_sign)
+        signature_b = self.keys.signing_key.sign(("pre-prepare", sequence, self.view, digest_b))
         msg_a = PrePrepare(sequence, self.view, requests, digest_a, signature)
-        msg_b = PrePrepare(sequence, self.view, reversed_requests, digest_b, signature)
+        msg_b = PrePrepare(sequence, self.view, reversed_requests, digest_b, signature_b)
         for dst in range(self.config.n):
             self.network.send(self.node_id, dst, msg_a if dst % 2 == 0 else msg_b)
 
@@ -800,6 +816,9 @@ class SBFTReplica(Process):
         else:
             state_digest = sha256_hex("state", self.node_id, sequence)
         slot.state_digest = state_digest
+
+        if self.execution_observer is not None:
+            self.execution_observer(self.node_id, sequence, slot.pre_prepare.digest)
 
         self._record_replies(slot)
         self._cancel_request_timers(slot)

@@ -53,6 +53,7 @@ from repro.errors import ConfigurationError
 from repro.experiments.harness import (
     COMMON_ROW_SCHEMA,
     add_baseline_arguments,
+    add_rounds_argument,
     emit_and_gate,
     format_table,
     harness_cost_fields,
@@ -276,13 +277,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                         help="override the scale's client-count curve")
     parser.add_argument("--topology", default="continent")
     parser.add_argument("--seed", type=int, default=0)
-    parser.add_argument(
-        "--rounds",
-        type=int,
-        default=1,
-        help="fixed-seed repetitions per point; the min-wall-clock round is "
-        "reported (use 3 when regenerating the committed baseline)",
-    )
+    add_rounds_argument(parser)
     add_baseline_arguments(parser)
     args = parser.parse_args(argv)
 

@@ -180,6 +180,23 @@ def add_jobs_argument(parser) -> None:
     )
 
 
+def add_rounds_argument(parser) -> None:
+    """Add the shared ``--rounds N`` min-of-N repetition flag to a CLI parser.
+
+    Every sweep measures harness cost as the fastest of ``N`` fixed-seed
+    repetitions (see :func:`timed_rounds`); defining the flag here keeps the
+    help text — and the baseline-regeneration convention it documents — in
+    one place.
+    """
+    parser.add_argument(
+        "--rounds",
+        type=int,
+        default=1,
+        help="fixed-seed repetitions per point; the min-wall-clock round is "
+        "reported (use 3 when regenerating the committed baseline)",
+    )
+
+
 def timed_rounds(
     run: Callable[[], Any], rounds: int = 1, setup: Optional[Callable[[], None]] = None
 ) -> Tuple[float, float, Any]:

@@ -46,6 +46,7 @@ from repro.experiments.harness import (
     COMMON_ROW_SCHEMA,
     ExperimentScale,
     add_baseline_arguments,
+    add_rounds_argument,
     emit_and_gate,
     format_table,
     harness_cost_fields,
@@ -168,13 +169,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     parser.add_argument("--kv-batch", type=int, default=8)
     parser.add_argument("--topology", default="continent")
     parser.add_argument("--seed", type=int, default=0)
-    parser.add_argument(
-        "--rounds",
-        type=int,
-        default=1,
-        help="fixed-seed repetitions per point; the min-wall-clock round is "
-        "reported (use 3 when regenerating the committed baseline)",
-    )
+    add_rounds_argument(parser)
     add_baseline_arguments(parser)
     args = parser.parse_args(argv)
 

@@ -139,6 +139,10 @@ class PBFTReplica(Process):
         self._new_view_sent_for: set = set()
 
         self.byzantine_mode: Optional[str] = None
+        # Adversary-lab hook, shared with SBFTReplica: called as
+        # ``observer(node_id, sequence, block_digest)`` after each block
+        # executes (None = no observer).
+        self.execution_observer: Optional[Any] = None
         # Cached broadcast destination list (fixed peer set; see SBFTReplica).
         self._peers_all: Tuple[int, ...] = tuple(range(config.n))
         self.stats = PBFTReplicaStats()
@@ -179,7 +183,15 @@ class PBFTReplica(Process):
 
     @property
     def quorum(self) -> int:
-        """2f + 2c + 1 — with c = 0 this is the classic 2f + 1."""
+        """2f + 2c + 1 — with c = 0 this is the classic 2f + 1.
+
+        ``config.unsafe_quorum_override`` (a test-only adversary-lab knob,
+        see :class:`repro.core.config.SBFTConfig`) replaces the sound quorum
+        when set so the strategy search has a real violation to find.
+        """
+        override = self.config.unsafe_quorum_override
+        if override is not None:
+            return override
         return 2 * self.config.f + 2 * self.config.c + 1
 
     @property
@@ -190,10 +202,13 @@ class PBFTReplica(Process):
     def is_primary(self) -> bool:
         return self.primary == self.node_id
 
-    #: PBFT implements only the withholding adversary (the paper's evaluation
-    #: never runs a Byzantine PBFT primary); unknown modes raise instead of
-    #: silently configuring a no-op adversary.
-    BYZANTINE_MODES = frozenset({"silent"})
+    #: Adversarial behaviours this replica implements: ``silent``
+    #: (withholding), ``equivocate`` (as primary, conflicting pre-prepares to
+    #: odd/even replicas) and ``stale-viewchange`` (zero ``last_stable`` claim
+    #: with no prepared evidence).  ``bad-shares`` stays SBFT-only — PBFT uses
+    #: plain per-replica signatures, there are no threshold shares to corrupt.
+    #: Unknown modes raise instead of silently configuring a no-op adversary.
+    BYZANTINE_MODES = frozenset({"silent", "equivocate", "stale-viewchange"})
 
     def activate_byzantine(self, mode: str) -> None:
         if mode not in self.BYZANTINE_MODES:
@@ -316,13 +331,39 @@ class PBFTReplica(Process):
         self.charge_cpu(self.costs.hash_op + self.costs.rsa_sign)
         signature = self.signing_key.sign(("pre-prepare", sequence, self.view, digest))
         self.stats.blocks_proposed += 1
-        self._broadcast(
-            PrePrepare(
-                sequence=sequence, view=self.view, requests=batch, digest=digest, primary_signature=signature
+        if self.byzantine_mode == "equivocate":
+            self._equivocate_pre_prepare(sequence, batch, digest, signature)
+        else:
+            self._broadcast(
+                PrePrepare(
+                    sequence=sequence, view=self.view, requests=batch, digest=digest, primary_signature=signature
+                )
             )
-        )
         if self._pending_requests:
             self._maybe_propose()
+
+    def _equivocate_pre_prepare(
+        self,
+        sequence: int,
+        requests: Tuple[ClientRequest, ...],
+        digest_a: str,
+        signature_a: Any,
+    ) -> None:
+        """Byzantine primary: send conflicting blocks to odd/even replicas.
+
+        Mirrors :meth:`repro.core.replica.SBFTReplica._equivocate_pre_prepare`:
+        both conflicting pre-prepares are validly signed over their own
+        digests so they pass per-message checks and the pair constitutes
+        cryptographic equivocation evidence for the forensics layer.
+        """
+        reversed_requests = tuple(reversed(requests))
+        digest_b = block_digest(sequence, self.view, [r.request_id for r in reversed_requests])
+        self.charge_cpu(self.costs.hash_op + self.costs.rsa_sign)
+        signature_b = self.signing_key.sign(("pre-prepare", sequence, self.view, digest_b))
+        msg_a = PrePrepare(sequence, self.view, requests, digest_a, signature_a)
+        msg_b = PrePrepare(sequence, self.view, reversed_requests, digest_b, signature_b)
+        for dst in range(self.config.n):
+            self.network.send(self.node_id, dst, msg_a if dst % 2 == 0 else msg_b)
 
     # ------------------------------------------------------------------
     # Three-phase agreement
@@ -441,6 +482,9 @@ class PBFTReplica(Process):
         slot.state_digest = (
             self.service.digest() if hasattr(self.service, "digest") else sha256_hex("state", sequence)
         )
+
+        if self.execution_observer is not None:
+            self.execution_observer(self.node_id, sequence, slot.pre_prepare.digest)
 
         reply_values = block_reply_values(
             slot.pre_prepare, slot.execution_results, slot.state_digest
@@ -607,20 +651,39 @@ class PBFTReplica(Process):
             return
         self._view_change_sent_for.add(new_view)
         self.stats.view_changes += 1
+        message = self.build_view_change(new_view)
+        self._broadcast(message)
+        self._ensure_view_change_timer()
+
+    def build_view_change(self, new_view: int) -> PbftViewChange:
+        """Construct this replica's view-change message for ``new_view``.
+
+        Under the ``stale-viewchange`` byzantine mode the message claims a
+        zero stable point with no prepared evidence — a validly signed lie
+        the new primary must tolerate (the honest quorum's evidence
+        dominates in the simplified carry-over).
+        """
+        if self.byzantine_mode == "stale-viewchange":
+            self.charge_cpu(self.costs.rsa_sign)
+            return PbftViewChange(
+                new_view=new_view,
+                replica_id=self.node_id,
+                last_stable=0,
+                prepared=(),
+                signature=self.signing_key.sign(("view-change", new_view, 0)),
+            )
         prepared = []
         for sequence, slot in sorted(self._slots.items()):
             if slot.commit_sent and slot.pre_prepare is not None and slot.digest is not None:
                 prepared.append((sequence, slot.view, slot.digest, slot.pre_prepare.requests))
         self.charge_cpu(self.costs.rsa_sign)
-        message = PbftViewChange(
+        return PbftViewChange(
             new_view=new_view,
             replica_id=self.node_id,
             last_stable=self.last_stable,
             prepared=tuple(prepared),
             signature=self.signing_key.sign(("view-change", new_view, self.last_stable)),
         )
-        self._broadcast(message)
-        self._ensure_view_change_timer()
 
     def _on_view_change(self, message: PbftViewChange, src: int) -> None:
         if message.new_view <= self.view:

@@ -103,6 +103,11 @@ class Cluster:
         self.injector: Optional[FaultInjector] = None
         self.recorder = LatencyRecorder()
         self.sanitizer: Optional[Any] = None
+        # Adversary-lab hook: called as ``post_build(cluster)`` once the
+        # cluster is fully wired (replicas, clients, network, fault plan) but
+        # before any event runs — the point where strategies install
+        # interceptors, observers and compromised-replica behaviour.
+        self.post_build: Optional[Any] = None
 
     # ------------------------------------------------------------------
     # Construction
@@ -194,6 +199,9 @@ class Cluster:
         if self.fault_plan is not None and len(self.fault_plan):
             self.injector = FaultInjector(self.sim, self.replicas, network=self.network)
             self.injector.apply(self.fault_plan)
+
+        if self.post_build is not None:
+            self.post_build(self)
 
     # ------------------------------------------------------------------
     # Running

@@ -191,11 +191,13 @@ class FaultInjector:
                 # A replica class that advertises its supported modes must
                 # support this one — catching it here keeps an unsupported
                 # mode from erupting mid-simulation at activation time.
-                supported = getattr(self.replicas[spec.replica_id], "BYZANTINE_MODES", None)
+                replica = self.replicas[spec.replica_id]
+                supported = getattr(replica, "BYZANTINE_MODES", None)
                 if supported is not None and spec.byzantine_mode not in supported:
                     raise ConfigurationError(
-                        f"replica {spec.replica_id} does not implement byzantine "
-                        f"mode {spec.byzantine_mode!r} (supported: {', '.join(sorted(supported))})"
+                        f"replica {spec.replica_id} ({type(replica).__name__}) does not "
+                        f"implement byzantine mode {spec.byzantine_mode!r} "
+                        f"(supported: {', '.join(sorted(supported))})"
                     )
         for spec in plan.faults:
             # ``at_time`` is absolute: applying a plan mid-run must not shift

@@ -107,6 +107,7 @@ class Network:
         self._down_links: set[tuple[int, int]] = set()
         self._isolated: set[int] = set()
         self._taps: list[Callable[[int, int, Any], None]] = []
+        self._interceptor: Optional[Callable[[int, int, Any], Any]] = None
 
     # ------------------------------------------------------------------
     # Membership
@@ -155,6 +156,27 @@ class Network:
         """Register an observer called as ``tap(src, dst, message)`` on send."""
         self._taps.append(tap)
 
+    def set_interceptor(
+        self, interceptor: Optional[Callable[[int, int, Any], Any]]
+    ) -> None:
+        """Install an active message interceptor (``None`` clears it).
+
+        The interceptor is called as ``interceptor(src, dst, message)`` after
+        stats and taps but before the network's own drop/latency decisions.
+        It returns ``None`` to drop the message (counted in
+        ``messages_dropped``), or ``(message, extra_delay)`` to forward a
+        possibly substituted message with ``extra_delay`` seconds added on
+        top of the normal propagation + serialization delay.
+
+        The interceptor draws no network RNG itself, so installing one that
+        forwards everything unchanged with zero extra delay leaves fixed-seed
+        runs byte-identical.  While an interceptor is installed,
+        :meth:`broadcast_bulk` degrades to the semantically identical
+        per-destination :meth:`send` loop so every copy is intercepted
+        individually (same RNG draw sequence per the bulk contract below).
+        """
+        self._interceptor = interceptor
+
     # ------------------------------------------------------------------
     # Sending
     # ------------------------------------------------------------------
@@ -169,6 +191,18 @@ class Network:
             for tap in self._taps:
                 tap(src, dst, message)
 
+        if self._interceptor is None:
+            extra_delay = 0.0
+        else:
+            verdict = self._interceptor(src, dst, message)
+            if verdict is None:
+                self.stats.messages_dropped += 1
+                return
+            replacement, extra_delay = verdict
+            if replacement is not message:
+                message = replacement
+                size = _message_size(message)
+
         if (
             (src, dst) in self._down_links
             or src in self._isolated
@@ -181,6 +215,8 @@ class Network:
         delay = self.latency.delay(src, dst, self.rng)
         if self.bandwidth:
             delay += size / self.bandwidth
+        if extra_delay:
+            delay += extra_delay
         self.sim.schedule(delay, self._deliver, node, message, src)
 
     def broadcast(self, src: int, message: Any, dst_ids: Iterable[int]) -> None:
@@ -216,6 +252,15 @@ class Network:
             resolved = [nodes[dst] for dst in dsts]
         except KeyError as error:
             raise NetworkError(f"send to unknown node {error.args[0]}") from None
+        if self._interceptor is not None:
+            # An interceptor may drop, delay or substitute each copy
+            # individually, so the bulk fast path does not apply.  The
+            # per-destination loop matches the documented RNG-order
+            # contract exactly; destination validation already happened
+            # above, preserving the all-or-nothing guarantee.
+            for dst in dsts:
+                self.send(src, dst, message)
+            return
         size = _message_size(message)
         self.stats.record_bulk(_message_type(message), size, len(dsts))
         if self._taps:

@@ -1,0 +1,32 @@
+"""Planted dispatch-complete violations for the adversary strategy registry.
+
+``STRATEGY_KINDS`` lists a kind (``gamma``) with no ``STRATEGIES`` entry, the
+registry registers a kind (``delta``) the catalog does not list, and ``Rogue``
+declares a concrete ``KIND`` that is never registered — each a way for a
+strategy to silently drop out of the search space.
+"""
+
+
+class Alpha:
+    KIND = "alpha"
+
+
+class Beta:
+    KIND = "beta"
+
+
+class Delta:
+    KIND = "delta"
+
+
+class Rogue:
+    KIND = "rho"  # PLANT: dispatch-complete
+
+
+STRATEGY_KINDS = ("alpha", "beta", "gamma")  # PLANT: dispatch-complete
+
+STRATEGIES = {  # PLANT: dispatch-complete
+    "alpha": Alpha,
+    "beta": Beta,
+    "delta": Delta,
+}

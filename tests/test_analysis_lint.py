@@ -43,6 +43,7 @@ def planted_violations(path: Path):
         "bounded_memo.py",
         "stale_suppression.py",
         "fault_dispatch.py",
+        "strategy_registry.py",
     ],
 )
 def test_planted_violations_reported_at_exact_lines(fixture):

@@ -18,7 +18,7 @@ from repro.experiments.fault_sweep import (
     run_fault_sweep,
 )
 from repro.protocols.cluster import build_cluster
-from repro.sim.faults import FaultPlan
+from repro.sim.faults import FaultInjector, FaultPlan
 from repro.workloads.kv_workload import KVWorkload
 
 SMALL = SWEEP_SCALES["small"]
@@ -162,8 +162,33 @@ def test_replicas_reject_unknown_byzantine_mode():
 
     cluster, _result = _run_scenario("pbft", "crash-backups")
     pbft_replica = cluster.replicas[0]
-    with pytest.raises(ConfigurationError):
-        pbft_replica.activate_byzantine("stale-viewchange")  # not implemented by PBFT
+    # PBFT has no threshold shares to corrupt, so bad-shares stays SBFT-only;
+    # the error must name the replica class and its supported modes.
+    with pytest.raises(ConfigurationError, match="PBFTReplica"):
+        pbft_replica.activate_byzantine("bad-shares")
+    with pytest.raises(ConfigurationError, match="equivocate"):
+        pbft_replica.activate_byzantine("bad-shares")
+
+
+def test_injector_rejects_unsupported_mode_naming_replica_class():
+    cluster, _result = _run_scenario("pbft", "crash-backups")
+    injector = FaultInjector(cluster.sim, cluster.replicas, network=cluster.network)
+    plan = FaultPlan.byzantine([0], mode="bad-shares", at_time=0.0)
+    with pytest.raises(ConfigurationError, match="PBFTReplica"):
+        injector.apply(plan)
+
+
+def test_pbft_stale_viewchange_builds_empty_outdated_evidence():
+    cluster, _result = _run_scenario("pbft", "crash-backups")
+    replica = cluster.replicas[1]
+    assert replica.last_stable > 0  # it really has something to withhold
+    replica.activate_byzantine("stale-viewchange")
+    message = replica.build_view_change(replica.view + 1)
+    assert message.last_stable == 0
+    assert message.prepared == ()
+    # The lie is validly signed: accountability evidence, not a forgery.
+    key = replica.verify_keys[replica.node_id]
+    assert key.verify(("view-change", message.new_view, 0), message.signature)
 
 
 def test_stale_viewchange_replica_sends_empty_outdated_evidence():
